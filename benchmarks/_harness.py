@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark modules."""
+
+import numpy as np
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return its result.
+
+    The experiments are minutes-scale training runs, not microbenchmarks, so a
+    single round is both sufficient and necessary to keep the suite's runtime
+    reasonable.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+def record(benchmark, **info):
+    """Attach reproduced numbers to ``benchmark.extra_info`` (floats/strings only)."""
+    for key, value in info.items():
+        if isinstance(value, (np.floating, np.integer)):
+            value = float(value)
+        benchmark.extra_info[key] = value

@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one table or figure of the paper at its default
+(paper-shaped, laptop-scale) configuration; reproduced numbers are attached
+to ``benchmark.extra_info`` so that ``pytest benchmarks/ --benchmark-only``
+output doubles as the experiment log.
+"""
+
+import pytest
+
+from repro import ppl
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    ppl.clear_param_store()
+    ppl.set_rng_seed(0)
+    yield
+    ppl.clear_param_store()

@@ -1,0 +1,70 @@
+"""Bayesian graph neural network on a citation-style graph (paper Listing 4, Table 2).
+
+Builds a two-layer GCN over a synthetic stochastic-block-model graph
+(standing in for Cora), compares maximum likelihood, MAP and mean-field
+variational inference in the semi-supervised transductive setting, and shows
+the ``selective_mask`` effect handler restricting the log-likelihood to
+labelled nodes.
+
+Run with::
+
+    python examples/gnn.py [--fast]
+"""
+
+import argparse
+from functools import partial
+
+import numpy as np
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.datasets import make_citation_graph
+from repro.experiments.gnn_classification import GNNConfig, run_gnn_comparison, table2_rows
+from repro.gnn import two_layer_gcn
+from repro.ppl import distributions as dist
+
+
+def listing4_demo(seed: int = 0) -> None:
+    """A direct transcription of the paper's Listing 4 on one graph."""
+    ppl.set_rng_seed(seed)
+    ppl.clear_param_store()
+    rng = np.random.default_rng(seed)
+    data = make_citation_graph(seed=seed)
+
+    gnn = two_layer_gcn(data.num_features, 16, data.num_classes, rng=rng)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    likelihood = tyxe.likelihoods.Categorical(dataset_size=data.graph.num_nodes)
+    guide = partial(tyxe.guides.AutoNormal, init_scale=1e-2, max_guide_scale=0.1)
+    bgnn = tyxe.VariationalBNN(gnn, prior, likelihood, guide)
+
+    graph, x, y = data.graph, nn.Tensor(data.features), nn.Tensor(data.labels)
+    mask = data.train_mask.astype(np.float64)
+    optim = ppl.optim.Adam({"lr": 2e-2})
+    with tyxe.poutine.selective_mask(mask=mask, expose=["likelihood.data"]):
+        bgnn.fit([((graph, x), y)], optim, 200)
+
+    probs = bgnn.predict((graph, x), num_predictions=8)
+    test_probs = np.exp(probs.data)[data.test_mask]
+    test_labels = data.labels[data.test_mask]
+    accuracy = (test_probs.argmax(-1) == test_labels).mean()
+    print(f"Listing-4 Bayesian GCN test accuracy: {accuracy:.3f} "
+          f"({int(data.train_mask.sum())} labelled of {data.graph.num_nodes} nodes)\n")
+
+
+def main(fast: bool = False) -> None:
+    listing4_demo()
+    config = GNNConfig.fast() if fast else GNNConfig()
+    print(f"Running the Table-2 comparison over {config.num_runs} seeds...")
+    results = run_gnn_comparison(config)
+    print("\nTable 2 — deterministic vs Bayesian GNN (mean ± 2 s.e.)")
+    print(f"{'inference':<8} {'NLL↓':>16} {'Acc.↑(%)':>18} {'ECE↓(%)':>18}")
+    for row in table2_rows(results):
+        print(f"{row['method']:<8} {row['nll']:>8.3f} ±{row['nll_2se']:.3f}  "
+              f"{100 * row['accuracy']:>9.2f} ±{100 * row['accuracy_2se']:.2f}  "
+              f"{100 * row['ece']:>9.2f} ±{100 * row['ece_2se']:.2f}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="run a tiny smoke-test configuration")
+    main(parser.parse_args().fast)

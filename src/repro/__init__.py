@@ -1,0 +1,25 @@
+"""Reproduction of "TyXe: Pyro-based Bayesian neural nets for Pytorch" (MLSYS 2022).
+
+Package layout
+--------------
+``repro.nn``
+    NumPy-backed autodiff + neural-network substrate (PyTorch substitute).
+``repro.ppl``
+    Miniature probabilistic programming layer with effect handlers, SVI,
+    autoguides and MCMC (Pyro substitute).
+``repro.core``
+    The paper's contribution: priors, likelihoods, guides, BNN wrapper
+    classes, BNN-specific effect handlers and variational continual learning.
+``repro.gnn``, ``repro.render``
+    Graph-neural-network and volumetric-rendering substrates (DGL /
+    Pytorch3D substitutes) used by the compatibility experiments.
+``repro.datasets``, ``repro.metrics``, ``repro.experiments``
+    Synthetic data generators, evaluation metrics and per-table/figure
+    experiment harnesses.
+"""
+
+__version__ = "0.1.0"
+
+from . import nn
+
+__all__ = ["nn", "__version__"]

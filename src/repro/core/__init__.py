@@ -1,0 +1,32 @@
+"""``repro.core`` — the reproduction of TyXe itself.
+
+The public API mirrors the paper's ``tyxe`` package::
+
+    import repro.core as tyxe
+
+    bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+    with tyxe.poutine.local_reparameterization():
+        bnn.fit(loader, optim, num_epochs)
+    predictions = bnn.predict(test_inputs, num_predictions=8)
+"""
+
+from . import guides
+from . import likelihoods
+from . import poutine
+from . import priors
+from . import util
+from . import vcl
+from .bnn import GuidedBNN, MCMC_BNN, PytorchBNN, VariationalBNN
+
+__all__ = [
+    "guides",
+    "likelihoods",
+    "poutine",
+    "priors",
+    "util",
+    "vcl",
+    "GuidedBNN",
+    "PytorchBNN",
+    "VariationalBNN",
+    "MCMC_BNN",
+]

@@ -1,0 +1,389 @@
+"""The TyXe BNN wrapper classes (``tyxe/bnn.py``).
+
+Class hierarchy (mirroring Appendix C of the paper):
+
+``_BNN``
+    Turns a deterministic network into a probabilistic model by replacing the
+    exposed parameters with sample sites drawn from a :class:`Prior`.
+``GuidedBNN``
+    Adds a guide (variational family or MCMC kernel factory) and a forward
+    pass that uses samples from the inference procedure.
+``PytorchBNN``
+    Low-level drop-in replacement for an ``nn.Module``: stochastic forward
+    passes, a cached KL term, and ``pytorch_parameters`` for use with a plain
+    ``repro.nn`` optimizer (the Bayesian-NeRF workflow of Listing 5).
+``_SupervisedBNN``
+    Adds a :class:`Likelihood` and the ``predict``/``evaluate`` API.
+``VariationalBNN``
+    scikit-learn style ``fit`` running stochastic variational inference.
+``MCMC_BNN``
+    Same interface, but ``fit`` runs full-batch HMC/NUTS.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.tensor import Parameter, Tensor, no_grad
+from .. import ppl
+from ..ppl import distributions as dist
+from ..ppl import poutine as ppl_poutine
+from ..ppl.distributions import kl_divergence
+from ..ppl.infer.mcmc import MCMC
+from ..ppl.infer.svi import TraceMeanField_ELBO, Trace_ELBO
+from ..ppl.params import get_param_store
+from .likelihoods import Likelihood
+from .priors import DictPrior, Prior
+
+__all__ = ["PytorchBNN", "VariationalBNN", "MCMC_BNN", "GuidedBNN"]
+
+_INSTANCE_COUNTER = itertools.count()
+
+
+def _as_tuple(value) -> Tuple:
+    """Normalize network inputs to a tuple of arguments, tensorizing raw arrays."""
+    items = tuple(value) if isinstance(value, (tuple, list)) else (value,)
+    return tuple(Tensor(item) if isinstance(item, np.ndarray) else item for item in items)
+
+
+class _BNN:
+    """Probabilistic model over the parameters of a wrapped network."""
+
+    def __init__(self, net: Module, prior: Prior, name: str = "net") -> None:
+        self.net = net
+        self.prior = prior
+        self.name = name
+        self.param_dists: "OrderedDict[str, dist.Distribution]" = OrderedDict()
+        self._update_prior_dists()
+
+    def _update_prior_dists(self) -> None:
+        self.param_dists = self.prior.get_distributions(self.net)
+
+    # ------------------------------------------------------------- bookkeeping
+    def bayesian_sites(self) -> Tuple[str, ...]:
+        """Names of the parameters that receive a Bayesian treatment."""
+        return tuple(self.param_dists)
+
+    def deterministic_parameters(self) -> List[Parameter]:
+        """Parameters of the network that stay deterministic (ML-fitted)."""
+        bayesian = set(self.param_dists)
+        return [p for name, p in self.net.named_parameters()
+                if name not in bayesian and getattr(p, "requires_grad", False)]
+
+    def update_prior(self, new_prior: Prior) -> None:
+        """Replace the prior over (a subset of) the Bayesian sites.
+
+        This is the variational-continual-learning hook (Listing 6): passing a
+        :class:`DictPrior` built from the current posterior turns the learned
+        posterior into the prior for the next task.
+        """
+        new_dists = new_prior.get_distributions(self.net)
+        merged = OrderedDict(self.param_dists)
+        merged.update(new_dists)
+        self.param_dists = merged
+        self.prior = DictPrior(merged)
+
+    # ------------------------------------------------------------ model pieces
+    @contextlib.contextmanager
+    def _substituted_params(self, samples: Dict[str, Tensor]):
+        """Temporarily replace network parameters with sampled tensors."""
+        originals: Dict[str, Tensor] = {}
+        try:
+            for name, value in samples.items():
+                originals[name] = self.net.get_parameter(name)
+                self.net.set_parameter(name, value)
+            yield
+        finally:
+            for name, original in originals.items():
+                self.net.set_parameter(name, original)
+
+    def sample_parameters(self) -> "OrderedDict[str, Tensor]":
+        """Draw every Bayesian parameter from its (prior) sample site."""
+        return OrderedDict((name, ppl.sample(name, d)) for name, d in self.param_dists.items())
+
+    def net_model(self, *args, **kwargs):
+        """Forward pass with parameters drawn from their sample sites."""
+        samples = self.sample_parameters()
+        with self._substituted_params(samples):
+            return self.net(*args, **kwargs)
+
+    def prior_forward(self, *args, **kwargs):
+        """Forward pass with a fresh sample from the prior (no guide)."""
+        return self.net_model(*args, **kwargs)
+
+
+class GuidedBNN(_BNN):
+    """A BNN together with an inference procedure ("guide") over its weights."""
+
+    def __init__(self, net: Module, prior: Prior, net_guide_builder: Optional[Callable] = None,
+                 name: str = "net") -> None:
+        super().__init__(net, prior, name=name)
+        self._instance_id = next(_INSTANCE_COUNTER)
+        self.net_guide = None
+        if net_guide_builder is not None:
+            self.net_guide = net_guide_builder(self.net_model)
+            if hasattr(self.net_guide, "prefix"):
+                self.net_guide.prefix = f"{self.name}_guide_{self._instance_id}"
+
+    def guide_parameters(self) -> List[Parameter]:
+        """Unconstrained variational parameters of the net guide (trainable only)."""
+        if self.net_guide is None or not hasattr(self.net_guide, "prefix"):
+            return []
+        prefix = f"{self.net_guide.prefix}."
+        store = get_param_store()
+        return [p for name, p in store.named_parameters()
+                if name.startswith(prefix) and p.requires_grad]
+
+    def guided_forward(self, *args, guide_trace: Optional[ppl_poutine.Trace] = None, **kwargs):
+        """Forward pass using a posterior sample from the guide."""
+        if guide_trace is None:
+            guide_trace = ppl_poutine.trace(self.net_guide).get_trace(*args, **kwargs)
+        return ppl_poutine.replay(self.net_model, trace=guide_trace)(*args, **kwargs)
+
+
+class PytorchBNN(GuidedBNN):
+    """Drop-in variational replacement for a deterministic ``nn.Module``.
+
+    ``forward`` returns predictions made with a single Monte Carlo sample
+    from the variational posterior and refreshes ``cached_kl_loss`` (the KL
+    divergence of the approximate posterior from the prior) as a side effect,
+    so a custom loss can simply add it as a regularizer (paper Listing 5).
+    """
+
+    def __init__(self, net: Module, prior: Prior, net_guide_builder: Callable,
+                 name: str = "net", closed_form_kl: bool = True) -> None:
+        super().__init__(net, prior, net_guide_builder, name=name)
+        self.closed_form_kl = closed_form_kl
+        self.cached_kl_loss: Optional[Tensor] = None
+
+    def _kl(self, guide_trace: ppl_poutine.Trace) -> Tensor:
+        total: Optional[Tensor] = None
+        for site_name, prior_dist in self.param_dists.items():
+            if site_name not in guide_trace:
+                continue
+            site = guide_trace[site_name]
+            if self.closed_form_kl:
+                try:
+                    kl = kl_divergence(site["fn"], prior_dist).sum()
+                except NotImplementedError:
+                    kl = (site["fn"].log_prob(site["value"]).sum()
+                          - prior_dist.log_prob(site["value"]).sum())
+            else:
+                kl = (site["fn"].log_prob(site["value"]).sum()
+                      - prior_dist.log_prob(site["value"]).sum())
+            total = kl if total is None else total + kl
+        return total if total is not None else Tensor(0.0)
+
+    def forward(self, *args, **kwargs):
+        guide_trace = ppl_poutine.trace(self.net_guide).get_trace(*args, **kwargs)
+        self.cached_kl_loss = self._kl(guide_trace)
+        return ppl_poutine.replay(self.net_model, trace=guide_trace)(*args, **kwargs)
+
+    __call__ = forward
+
+    def pytorch_parameters(self, input_data) -> List[Parameter]:
+        """All trainable parameters, for use with a ``repro.nn`` optimizer.
+
+        Because guide parameters are created lazily, a batch of data is
+        required to trace the network once and instantiate them — exactly the
+        behaviour the paper describes for TyXe's ``pytorch_parameters``.
+        """
+        args = _as_tuple(input_data)
+        self.forward(*args)
+        return self.guide_parameters() + self.deterministic_parameters()
+
+
+class _SupervisedBNN(GuidedBNN):
+    """BNN + likelihood: defines the full generative model and the predict API."""
+
+    def __init__(self, net: Module, prior: Prior, likelihood: Likelihood,
+                 net_guide_builder: Optional[Callable] = None, name: str = "net") -> None:
+        super().__init__(net, prior, net_guide_builder, name=name)
+        self.likelihood = likelihood
+
+    def model(self, input_data, obs=None):
+        """The generative model: sample weights, forward, observe through the likelihood."""
+        predictions = self.net_model(*_as_tuple(input_data))
+        self.likelihood(predictions, obs)
+        return predictions
+
+    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True):
+        """Posterior-predictive samples (aggregated by default, per the paper)."""
+        predictions = []
+        with no_grad():
+            for _ in range(num_predictions):
+                out = self.guided_forward(*_as_tuple(input_data))
+                predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
+        stacked = Tensor(np.stack(predictions))
+        return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked
+
+    def evaluate(self, input_data, targets, num_predictions: int = 1,
+                 reduction: str = "mean") -> Tuple[float, float]:
+        """Return ``(log_likelihood, error)`` of the aggregated predictions."""
+        aggregated = self.predict(input_data, num_predictions=num_predictions, aggregate=True)
+        log_likelihood = self.likelihood.log_likelihood(aggregated, targets, reduction=reduction)
+        error = self.likelihood.error(aggregated, targets, reduction=reduction)
+        return log_likelihood, error
+
+
+class VariationalBNN(_SupervisedBNN):
+    """Variational BNN with a scikit-learn-style ``fit`` (paper Listings 1-3).
+
+    ``net_guide_builder`` is a callable mapping a model to a guide, e.g.
+    ``tyxe.guides.AutoNormal`` or ``functools.partial(AutoNormal,
+    init_scale=1e-4, ...)``.  ``likelihood_guide_builder`` optionally builds a
+    guide over latent variables of the likelihood (e.g. an unknown Gaussian
+    noise scale).
+    """
+
+    def __init__(self, net: Module, prior: Prior, likelihood: Likelihood,
+                 net_guide_builder: Callable, likelihood_guide_builder: Optional[Callable] = None,
+                 name: str = "net") -> None:
+        super().__init__(net, prior, likelihood, net_guide_builder, name=name)
+        self.likelihood_guide = None
+        if likelihood_guide_builder is not None:
+            blocked_model = ppl_poutine.block(self.model, expose=self._likelihood_latent_sites())
+            self.likelihood_guide = likelihood_guide_builder(blocked_model)
+            if hasattr(self.likelihood_guide, "prefix"):
+                self.likelihood_guide.prefix = f"{self.name}_lik_guide_{self._instance_id}"
+
+    def _likelihood_latent_sites(self) -> List[str]:
+        scale_site = f"{self.likelihood.name}.scale"
+        return [scale_site]
+
+    def guide(self, input_data, obs=None):
+        """Joint guide over network weights and likelihood latents."""
+        result = self.net_guide(*_as_tuple(input_data))
+        if self.likelihood_guide is not None:
+            self.likelihood_guide(input_data, obs)
+        return result
+
+    def likelihood_parameters(self) -> List[Parameter]:
+        if self.likelihood_guide is None or not hasattr(self.likelihood_guide, "prefix"):
+            return []
+        prefix = f"{self.likelihood_guide.prefix}."
+        store = get_param_store()
+        return [p for name, p in store.named_parameters()
+                if name.startswith(prefix) and p.requires_grad]
+
+    def fit(self, data_loader: Iterable, optim, num_epochs: int,
+            callback: Optional[Callable] = None, num_particles: int = 1,
+            closed_form_kl: bool = True) -> "VariationalBNN":
+        """Run stochastic variational inference over ``data_loader``.
+
+        ``data_loader`` yields length-two tuples ``(inputs, targets)`` where
+        ``inputs`` may itself be a tuple of arguments to the network.
+        ``callback(bnn, epoch, avg_elbo_loss)`` is invoked after every epoch
+        and may return ``True`` to stop training early.
+        """
+        elbo_cls = TraceMeanField_ELBO if closed_form_kl else Trace_ELBO
+        elbo = elbo_cls(num_particles=num_particles)
+        for epoch in range(num_epochs):
+            total_loss = 0.0
+            num_batches = 0
+            for input_data, targets in iter(data_loader):
+                loss = elbo.differentiable_loss(self.model, self.guide, input_data, targets)
+                params = (self.guide_parameters() + self.likelihood_parameters()
+                          + self.deterministic_parameters())
+                for p in params:
+                    p.grad = None
+                loss.backward()
+                params_with_grad = [p for p in params if p.grad is not None]
+                if params_with_grad:
+                    optim(params_with_grad)
+                for p in params_with_grad:
+                    p.grad = None
+                total_loss += float(loss.item())
+                num_batches += 1
+            avg_loss = total_loss / max(num_batches, 1)
+            if callback is not None and callback(self, epoch, avg_loss):
+                break
+        return self
+
+
+class MCMC_BNN(_SupervisedBNN):
+    """BNN whose posterior is sampled with full-batch MCMC (HMC or NUTS).
+
+    ``kernel_builder`` maps the model to a kernel, e.g. ``repro.ppl.infer.HMC``
+    or ``functools.partial(NUTS, step_size=1e-3)`` — the "guide" argument of
+    the paper's Listing 1 footnote.
+    """
+
+    def __init__(self, net: Module, prior: Prior, likelihood: Likelihood,
+                 kernel_builder: Callable, name: str = "net") -> None:
+        super().__init__(net, prior, likelihood, net_guide_builder=None, name=name)
+        self.kernel_builder = kernel_builder
+        self.kernel = None
+        self._mcmc: Optional[MCMC] = None
+        self._weight_samples: Optional[Dict[str, np.ndarray]] = None
+
+    def fit(self, data: Union[Iterable, Tuple], num_samples: int,
+            warmup_steps: int = 100, **mcmc_kwargs) -> "MCMC_BNN":
+        """Run MCMC on the full dataset.
+
+        ``data`` is either an ``(inputs, targets)`` tuple or an iterable of
+        such tuples (e.g. a DataLoader), in which case all batches are
+        concatenated into a single full-batch dataset first.
+        """
+        input_data, targets = self._assemble_full_batch(data)
+        self.kernel = self.kernel_builder(self.model)
+        self._mcmc = MCMC(self.kernel, num_samples=num_samples, warmup_steps=warmup_steps,
+                          **mcmc_kwargs)
+        self._mcmc.run(input_data, targets)
+        self._weight_samples = self._mcmc.get_samples()
+        return self
+
+    @staticmethod
+    def _assemble_full_batch(data) -> Tuple:
+        if isinstance(data, tuple) and len(data) == 2 and not isinstance(data[0], tuple):
+            return data
+        batches = list(iter(data))
+        if len(batches) == 1:
+            return batches[0]
+        inputs = [b[0] for b in batches]
+        targets = [b[1] for b in batches]
+        stacked_inputs = Tensor(np.concatenate([np.asarray(i.data if isinstance(i, Tensor) else i) for i in inputs]))
+        stacked_targets = Tensor(np.concatenate([np.asarray(t.data if isinstance(t, Tensor) else t) for t in targets]))
+        return stacked_inputs, stacked_targets
+
+    @property
+    def num_posterior_samples(self) -> int:
+        if self._weight_samples is None:
+            return 0
+        first = next(iter(self._weight_samples.values()))
+        return first.shape[0]
+
+    def posterior_samples(self) -> Dict[str, np.ndarray]:
+        if self._weight_samples is None:
+            raise RuntimeError("call fit() before accessing posterior samples")
+        return self._weight_samples
+
+    def guided_forward(self, *args, sample_index: Optional[int] = None, **kwargs):
+        """Forward pass with one stored posterior sample of the weights."""
+        samples = self.posterior_samples()
+        if sample_index is None:
+            sample_index = int(ppl.get_rng().integers(self.num_posterior_samples))
+        values = {name: Tensor(samples[name][sample_index]) for name in self.param_dists}
+        with self._substituted_params(values):
+            return self.net(*args, **kwargs)
+
+    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True):
+        """Posterior-predictive estimates using evenly spaced posterior samples."""
+        total = self.num_posterior_samples
+        if total == 0:
+            raise RuntimeError("call fit() before predict()")
+        num_predictions = min(num_predictions, total)
+        indices = np.linspace(0, total - 1, num_predictions).astype(int)
+        predictions = []
+        with no_grad():
+            for idx in indices:
+                out = self.guided_forward(*_as_tuple(input_data), sample_index=int(idx))
+                predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
+        stacked = Tensor(np.stack(predictions))
+        return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked

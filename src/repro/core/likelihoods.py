@@ -1,0 +1,285 @@
+"""Data likelihoods (``tyxe.likelihoods``).
+
+A :class:`Likelihood` wraps a ``repro.ppl`` distribution family and knows how
+to (a) describe the observation model as a probabilistic program — with the
+log-density correctly rescaled by ``dataset_size / batch_size`` so the ELBO's
+KL/likelihood balance is right under mini-batching — and (b) evaluate and
+aggregate posterior-predictive samples (mean probabilities for classifiers,
+mean/stddev for regressors) together with an error measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .. import ppl
+from ..ppl import distributions as dist
+
+__all__ = [
+    "Likelihood",
+    "Bernoulli",
+    "Categorical",
+    "HomoskedasticGaussian",
+    "HeteroskedasticGaussian",
+    "Poisson",
+]
+
+DATA_SITE = "likelihood.data"
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(np.asarray(value))
+
+
+def _batch_size(predictions: Tensor) -> int:
+    return predictions.shape[0] if predictions.ndim > 0 else 1
+
+
+class Likelihood:
+    """Base class; subclasses provide ``predictive_distribution`` and ``error``."""
+
+    def __init__(self, dataset_size: int, event_dim: int = 0, name: str = "likelihood") -> None:
+        self.dataset_size = int(dataset_size)
+        self.event_dim = event_dim
+        self.name = name
+
+    @property
+    def data_site(self) -> str:
+        return f"{self.name}.data"
+
+    # ----------------------------------------------------------- model pieces
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        """The observation distribution given network outputs."""
+        raise NotImplementedError
+
+    def var_dist(self) -> dict:
+        """Optional latent variables of the likelihood itself (name -> prior)."""
+        return {}
+
+    def __call__(self, predictions: Tensor, obs: Optional[Tensor] = None) -> Tensor:
+        """Sample/score the data site with correct mini-batch scaling."""
+        predictions = _as_tensor(predictions)
+        batch_size = _batch_size(predictions)
+        predictive = self.predictive_distribution(predictions)
+        with ppl.plate(f"{self.name}.plate", size=self.dataset_size, subsample_size=batch_size):
+            return ppl.sample(self.data_site, predictive,
+                              obs=None if obs is None else _as_tensor(obs))
+
+    forward = __call__
+
+    # ------------------------------------------------------------- evaluation
+    def log_likelihood(self, aggregated_predictions: Tensor, targets: Tensor,
+                       reduction: str = "mean") -> float:
+        """Log density of ``targets`` under the aggregated predictive distribution."""
+        predictive = self.predictive_distribution(_as_tensor(aggregated_predictions))
+        log_probs = predictive.log_prob(_as_tensor(targets))
+        if self.event_dim == 0 and log_probs.ndim > 1:
+            log_probs = log_probs.sum(axis=tuple(range(1, log_probs.ndim)))
+        values = log_probs.data
+        return float(values.mean() if reduction == "mean" else values.sum())
+
+    def error(self, aggregated_predictions: Tensor, targets: Tensor,
+              reduction: str = "mean") -> float:
+        """Task-appropriate error measure (classification error / squared error)."""
+        raise NotImplementedError
+
+    def aggregate_predictions(self, predictions: Tensor) -> Tensor:
+        """Combine a stack of per-sample predictions (leading axis = samples)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dataset_size={self.dataset_size})"
+
+
+class _Discrete(Likelihood):
+    """Shared logic for classification likelihoods on logit predictions."""
+
+    def __init__(self, dataset_size: int, logit_predictions: bool = True,
+                 name: str = "likelihood") -> None:
+        super().__init__(dataset_size, event_dim=0, name=name)
+        self.logit_predictions = logit_predictions
+
+    def probs(self, predictions: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def aggregate_predictions(self, predictions: Tensor) -> Tensor:
+        """Average predicted probabilities across samples; return as the same
+        parameterization (logits or probs) the likelihood expects."""
+        probs = self.probs(predictions)
+        mean_probs = probs.mean(axis=0)
+        if not self.logit_predictions:
+            return mean_probs
+        clipped = np.clip(mean_probs.data, 1e-12, 1.0)
+        return Tensor(np.log(clipped))
+
+
+class Bernoulli(_Discrete):
+    """Binary observations; predictions are logits (default) or probabilities."""
+
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        if self.logit_predictions:
+            return dist.Bernoulli(logits=predictions)
+        return dist.Bernoulli(probs=predictions)
+
+    def probs(self, predictions: Tensor) -> Tensor:
+        return predictions.sigmoid() if self.logit_predictions else predictions
+
+    def error(self, aggregated_predictions: Tensor, targets: Tensor,
+              reduction: str = "mean") -> float:
+        probs = self.probs(_as_tensor(aggregated_predictions)).data
+        predicted = (probs > 0.5).astype(np.float64)
+        errors = (predicted != np.asarray(_as_tensor(targets).data)).astype(np.float64)
+        return float(errors.mean() if reduction == "mean" else errors.sum())
+
+
+class Categorical(_Discrete):
+    """Multi-class observations; predictions are logits (default) or probabilities."""
+
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        if self.logit_predictions:
+            return dist.Categorical(logits=predictions)
+        return dist.Categorical(probs=predictions)
+
+    def probs(self, predictions: Tensor) -> Tensor:
+        return F.softmax(predictions, axis=-1) if self.logit_predictions else predictions
+
+    def error(self, aggregated_predictions: Tensor, targets: Tensor,
+              reduction: str = "mean") -> float:
+        probs = self.probs(_as_tensor(aggregated_predictions)).data
+        predicted = probs.argmax(axis=-1)
+        errors = (predicted != np.asarray(_as_tensor(targets).data).astype(np.int64)).astype(np.float64)
+        return float(errors.mean() if reduction == "mean" else errors.sum())
+
+
+class Gaussian(Likelihood):
+    """Base class for Gaussian likelihoods: squared error, mean/stddev aggregation."""
+
+    def error(self, aggregated_predictions: Tensor, targets: Tensor,
+              reduction: str = "mean") -> float:
+        mean = self._predictive_mean(_as_tensor(aggregated_predictions)).data
+        sq = (mean - np.asarray(_as_tensor(targets).data)) ** 2
+        sq = sq.reshape(sq.shape[0], -1).sum(axis=-1)
+        return float(sq.mean() if reduction == "mean" else sq.sum())
+
+    def _predictive_mean(self, aggregated_predictions: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class HomoskedasticGaussian(Gaussian):
+    """Gaussian observations with a single shared scale.
+
+    ``scale`` may be a float (fixed observation noise), or a
+    :class:`repro.ppl.distributions.Distribution` prior in which case the
+    scale becomes a latent variable named ``"<name>.scale"`` that can be
+    inferred alongside the network weights (the optional likelihood guide of
+    ``VariationalBNN``).
+    """
+
+    def __init__(self, dataset_size: int, scale: Union[float, dist.Distribution] = 1.0,
+                 name: str = "likelihood") -> None:
+        super().__init__(dataset_size, event_dim=0, name=name)
+        self.scale = scale
+
+    @property
+    def scale_is_latent(self) -> bool:
+        return isinstance(self.scale, dist.Distribution)
+
+    def _current_scale(self) -> Tensor:
+        if self.scale_is_latent:
+            return ppl.sample(f"{self.name}.scale", self.scale)
+        return _as_tensor(self.scale)
+
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        scale = self.scale.mean if self.scale_is_latent else _as_tensor(self.scale)
+        return dist.Normal(predictions, scale)
+
+    def __call__(self, predictions: Tensor, obs: Optional[Tensor] = None) -> Tensor:
+        predictions = _as_tensor(predictions)
+        batch_size = _batch_size(predictions)
+        scale = self._current_scale()
+        with ppl.plate(f"{self.name}.plate", size=self.dataset_size, subsample_size=batch_size):
+            return ppl.sample(self.data_site, dist.Normal(predictions, scale),
+                              obs=None if obs is None else _as_tensor(obs))
+
+    forward = __call__
+
+    def aggregate_predictions(self, predictions: Tensor) -> Tensor:
+        return predictions.mean(axis=0)
+
+    def predictive_stddev(self, predictions: Tensor) -> np.ndarray:
+        """Total predictive standard deviation: weight variance + observation noise."""
+        scale = self.scale.mean.data if self.scale_is_latent else np.asarray(self.scale)
+        epistemic_var = predictions.data.var(axis=0)
+        return np.sqrt(epistemic_var + scale ** 2)
+
+    def _predictive_mean(self, aggregated_predictions: Tensor) -> Tensor:
+        return aggregated_predictions
+
+
+class HeteroskedasticGaussian(Gaussian):
+    """Gaussian observations with per-input predicted scales.
+
+    Predictions are ``2d``-dimensional: the first half encodes the mean, the
+    second half the (softplus-transformed) standard deviation.  Aggregation
+    weighs per-sample means by their predicted precision, as in the paper.
+    """
+
+    def __init__(self, dataset_size: int, positive_scale: bool = False,
+                 name: str = "likelihood") -> None:
+        super().__init__(dataset_size, event_dim=0, name=name)
+        self.positive_scale = positive_scale
+
+    def _split(self, predictions: Tensor) -> Tuple[Tensor, Tensor]:
+        d = predictions.shape[-1]
+        if d % 2 != 0:
+            raise ValueError("HeteroskedasticGaussian expects an even final dimension")
+        mean = predictions[..., : d // 2]
+        raw_scale = predictions[..., d // 2:]
+        scale = raw_scale if self.positive_scale else raw_scale.softplus() + 1e-6
+        return mean, scale
+
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        mean, scale = self._split(predictions)
+        return dist.Normal(mean, scale)
+
+    def aggregate_predictions(self, predictions: Tensor) -> Tensor:
+        """Precision-weighted mean and combined scale across posterior samples."""
+        mean, scale = self._split(predictions)
+        precision = 1.0 / (scale ** 2)
+        total_precision = precision.sum(axis=0)
+        agg_mean = (mean * precision).sum(axis=0) / total_precision
+        agg_var = (scale ** 2 + mean ** 2).mean(axis=0) - agg_mean ** 2
+        agg_scale = Tensor(np.sqrt(np.clip(agg_var.data, 1e-12, None)))
+        if self.positive_scale:
+            return Tensor(np.concatenate([agg_mean.data, agg_scale.data], axis=-1))
+        inv_softplus = np.where(agg_scale.data > 20, agg_scale.data, np.log(np.expm1(np.clip(agg_scale.data, 1e-12, None))))
+        return Tensor(np.concatenate([agg_mean.data, inv_softplus], axis=-1))
+
+    def _predictive_mean(self, aggregated_predictions: Tensor) -> Tensor:
+        mean, _ = self._split(aggregated_predictions)
+        return mean
+
+
+class Poisson(Likelihood):
+    """Count observations with rate ``softplus(prediction)`` — the "new likelihood
+    based on an existing distribution" the paper mentions as an easy extension."""
+
+    def __init__(self, dataset_size: int, name: str = "likelihood") -> None:
+        super().__init__(dataset_size, event_dim=0, name=name)
+
+    def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
+        return dist.Poisson(predictions.softplus() + 1e-6)
+
+    def aggregate_predictions(self, predictions: Tensor) -> Tensor:
+        return predictions.mean(axis=0)
+
+    def error(self, aggregated_predictions: Tensor, targets: Tensor,
+              reduction: str = "mean") -> float:
+        rate = (_as_tensor(aggregated_predictions).softplus() + 1e-6).data
+        sq = (rate - np.asarray(_as_tensor(targets).data)) ** 2
+        sq = sq.reshape(sq.shape[0], -1).sum(axis=-1)
+        return float(sq.mean() if reduction == "mean" else sq.sum())

@@ -1,0 +1,264 @@
+"""BNN-specific effect handlers (``tyxe.poutine``).
+
+Three program transformations described in the paper:
+
+* :func:`local_reparameterization` — for factorized Gaussian weight
+  posteriors, replaces sampling of the weight matrix shared across a
+  mini-batch with sampling of the per-datapoint *pre-activations*
+  (Kingma et al., 2015), reducing gradient variance.
+* :func:`flipout` — decorrelates per-datapoint weight perturbations with
+  rank-one sign matrices (Wen et al., 2018).
+* :func:`selective_mask` — masks out the log-likelihood contribution of
+  unlabelled data, used in the semi-supervised GNN example (Listing 4).
+
+The reparameterization messengers sit on *both* effect systems: they are
+``repro.ppl`` messengers (to observe which tensors were produced by which
+sample sites, exactly as TyXe's messengers maintain references from samples
+to their distributions) and handlers of the effectful linear ops in
+``repro.nn.functional`` (to change how ``linear``/``conv2d`` are computed at
+runtime, TyXe's monkey-patched ``F.linear``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from ..ppl import distributions as dist
+from ..ppl.poutine.runtime import Message, Messenger
+from ..ppl.rng import get_rng
+
+__all__ = [
+    "LocalReparameterizationMessenger",
+    "FlipoutMessenger",
+    "SelectiveMaskMessenger",
+    "MCDropoutMessenger",
+    "local_reparameterization",
+    "flipout",
+    "selective_mask",
+    "mc_dropout",
+]
+
+
+def _unwrap(fn: dist.Distribution) -> dist.Distribution:
+    while isinstance(fn, dist.Independent):
+        fn = fn.base_dist
+    return fn
+
+
+class _ReparameterizationMessenger(Messenger):
+    """Base class tracking which tensors came from factorized-Gaussian sites."""
+
+    _MAX_TRACKED = 512  # bound memory when the handler stays active for a whole fit
+
+    def __init__(self) -> None:
+        self._distributions: "OrderedDict[int, dist.Distribution]" = OrderedDict()
+
+    # -- ppl messenger side: remember sample -> distribution associations ----
+    def postprocess_message(self, msg: Message) -> None:
+        if msg["type"] != "sample" or msg["is_observed"]:
+            return
+        value = msg["value"]
+        if not isinstance(value, Tensor):
+            return
+        base = _unwrap(msg["fn"])
+        if isinstance(base, (dist.Normal, dist.Delta)):
+            # keep a strong reference to the sampled tensor so its id() cannot
+            # be recycled while the association is alive
+            self._distributions.setdefault(id(value), (value, base))
+            while len(self._distributions) > self._MAX_TRACKED:
+                self._distributions.popitem(last=False)
+
+    def __enter__(self):
+        F.register_linear_op_handler(self)
+        return super().__enter__()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        F.unregister_linear_op_handler(self)
+        super().__exit__(exc_type, exc_value, traceback)
+
+    # -- nn functional side: intercept linear ops -----------------------------
+    def _lookup(self, value: Optional[Tensor]) -> Optional[dist.Distribution]:
+        if value is None:
+            return None
+        entry = self._distributions.get(id(value))
+        if entry is None or entry[0] is not value:
+            return None
+        return entry[1]
+
+    def process_linear_op(self, op: str, x: Tensor, weight: Tensor,
+                          bias: Optional[Tensor], default_fn: Callable, **kwargs):
+        weight_dist = self._lookup(weight)
+        if not isinstance(weight_dist, dist.Normal):
+            return None
+        bias_dist = self._lookup(bias)
+        return self._reparameterize(op, x, weight, weight_dist, bias, bias_dist,
+                                    default_fn, **kwargs)
+
+    def _reparameterize(self, op: str, x: Tensor, weight: Tensor, weight_dist: dist.Normal,
+                        bias: Optional[Tensor], bias_dist: Optional[dist.Distribution],
+                        default_fn: Callable, **kwargs) -> Optional[Tensor]:
+        raise NotImplementedError
+
+
+class LocalReparameterizationMessenger(_ReparameterizationMessenger):
+    """Sample pre-activations instead of weights (Kingma et al., 2015).
+
+    For ``y = x W^T + b`` with ``W ~ N(mu, sigma^2)`` factorized, the output
+    is Gaussian with mean ``x mu^T + E[b]`` and variance ``x^2 (sigma^2)^T +
+    Var[b]``; sampling it directly gives lower-variance gradients and
+    per-datapoint implicit weight samples.
+    """
+
+    def _reparameterize(self, op: str, x: Tensor, weight: Tensor, weight_dist: dist.Normal,
+                        bias: Optional[Tensor], bias_dist: Optional[dist.Distribution],
+                        default_fn: Callable, **kwargs) -> Tensor:
+        mu_w, sigma_w = weight_dist.loc, weight_dist.scale
+        if isinstance(bias_dist, dist.Normal):
+            mu_b: Optional[Tensor] = bias_dist.loc
+            var_b: Optional[Tensor] = bias_dist.scale ** 2
+        else:
+            mu_b, var_b = bias, None
+
+        if op == "linear":
+            mean = F._linear_default(x, mu_w, mu_b)
+            var = F._linear_default(x ** 2, sigma_w ** 2, var_b)
+        elif op == "conv2d":
+            mean = F._conv2d_default(x, mu_w, mu_b, **kwargs)
+            var = F._conv2d_default(x ** 2, sigma_w ** 2, var_b, **kwargs)
+        else:  # pragma: no cover - only linear/conv are registered as effectful
+            return None
+        std = (var + 1e-12).sqrt()
+        eps = Tensor(get_rng().standard_normal(mean.shape))
+        return mean + std * eps
+
+
+class FlipoutMessenger(_ReparameterizationMessenger):
+    """Pseudo-independent per-datapoint weight perturbations (Wen et al., 2018).
+
+    The sampled weight is decomposed as ``W = mu + dW``; each datapoint's
+    perturbation is decorrelated by elementwise random sign vectors
+    ``r_out (x r_in) dW^T``, which preserves the marginal distribution for
+    symmetric perturbations while reducing mini-batch gradient correlation.
+    """
+
+    def _reparameterize(self, op: str, x: Tensor, weight: Tensor, weight_dist: dist.Normal,
+                        bias: Optional[Tensor], bias_dist: Optional[dist.Distribution],
+                        default_fn: Callable, **kwargs) -> Tensor:
+        mu_w = weight_dist.loc
+        delta_w = weight - mu_w
+        rng = get_rng()
+        if op == "linear":
+            batch_shape = x.shape[:-1]
+            sign_in = Tensor(rng.choice([-1.0, 1.0], size=batch_shape + (x.shape[-1],)))
+            sign_out = Tensor(rng.choice([-1.0, 1.0], size=batch_shape + (mu_w.shape[0],)))
+            mean = F._linear_default(x, mu_w, bias)
+            perturbation = F._linear_default(x * sign_in, delta_w, None) * sign_out
+            return mean + perturbation
+        if op == "conv2d":
+            n, c = x.shape[0], x.shape[1]
+            out_c = mu_w.shape[0]
+            sign_in = Tensor(rng.choice([-1.0, 1.0], size=(n, c, 1, 1)))
+            sign_out = Tensor(rng.choice([-1.0, 1.0], size=(n, out_c, 1, 1)))
+            mean = F._conv2d_default(x, mu_w, bias, **kwargs)
+            perturbation = F._conv2d_default(x * sign_in, delta_w, None, **kwargs) * sign_out
+            return mean + perturbation
+        return None  # pragma: no cover
+
+
+class SelectiveMaskMessenger(Messenger):
+    """Apply a log-density mask only to the named sites.
+
+    The paper builds this from Pyro's ``block`` + ``mask`` poutines; here it
+    is a single messenger: sites listed in ``expose`` (or all sites not in
+    ``hide`` when ``expose`` is empty) get their log-density multiplied by
+    ``mask``.  The GNN example uses ``expose=["likelihood.data"]`` so that
+    only labelled nodes contribute to the log-likelihood.
+    """
+
+    def __init__(self, mask: Union[np.ndarray, Tensor], expose: Iterable[str] = (),
+                 hide: Iterable[str] = ()) -> None:
+        self.mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+        self.expose = set(expose)
+        self.hide = set(hide)
+
+    def _applies_to(self, name: str) -> bool:
+        if self.expose:
+            return name in self.expose
+        return name not in self.hide
+
+    def process_message(self, msg: Message) -> None:
+        if msg["type"] != "sample" or not self._applies_to(msg["name"]):
+            return
+        if msg["mask"] is None:
+            msg["mask"] = self.mask
+        else:
+            msg["mask"] = np.asarray(msg["mask"]) * self.mask
+
+
+class MCDropoutMessenger(Messenger):
+    """Monte Carlo dropout as an effect handler (paper Appendix D).
+
+    Keeps dropout *active* regardless of the module's train/eval mode, so a
+    deterministically trained network can produce approximate posterior
+    samples at test time (Gal & Ghahramani, 2016).  With ``fix_mask=True`` a
+    single dropout mask per tensor shape is drawn on first use and reused for
+    every subsequent call — the "fix a single sample across batches of data"
+    behaviour the paper describes as useful for visualization.
+    """
+
+    def __init__(self, p: Optional[float] = None, fix_mask: bool = False) -> None:
+        self.p = p
+        self.fix_mask = fix_mask
+        self._masks: dict = {}
+
+    def __enter__(self):
+        F.register_dropout_handler(self)
+        return super().__enter__()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        F.unregister_dropout_handler(self)
+        super().__exit__(exc_type, exc_value, traceback)
+
+    def reset_masks(self) -> None:
+        """Drop the cached masks so the next forward pass draws fresh ones."""
+        self._masks.clear()
+
+    def process_dropout(self, x: Tensor, p: float, training: bool, default_fn: Callable):
+        p = self.p if self.p is not None else p
+        if p <= 0.0:
+            return x
+        if self.fix_mask:
+            mask = self._masks.get(x.shape)
+            if mask is None:
+                mask = (get_rng().random(x.shape) >= p) / (1.0 - p)
+                self._masks[x.shape] = mask
+            return x * Tensor(mask)
+        # force dropout on, even if the module is in eval mode
+        mask = (get_rng().random(x.shape) >= p) / (1.0 - p)
+        return x * Tensor(mask)
+
+
+def local_reparameterization() -> LocalReparameterizationMessenger:
+    """Context manager enabling local reparameterization (paper Listing 2)."""
+    return LocalReparameterizationMessenger()
+
+
+def flipout() -> FlipoutMessenger:
+    """Context manager enabling flipout gradient-variance reduction."""
+    return FlipoutMessenger()
+
+
+def selective_mask(mask: Union[np.ndarray, Tensor], expose: Iterable[str] = (),
+                   hide: Iterable[str] = ()) -> SelectiveMaskMessenger:
+    """Context manager masking the log-density of selected sites (paper Listing 4)."""
+    return SelectiveMaskMessenger(mask, expose=expose, hide=hide)
+
+
+def mc_dropout(p: Optional[float] = None, fix_mask: bool = False) -> MCDropoutMessenger:
+    """Context manager enabling Monte Carlo dropout at prediction time."""
+    return MCDropoutMessenger(p=p, fix_mask=fix_mask)

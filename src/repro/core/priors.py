@@ -1,0 +1,206 @@
+"""Weight-space priors for Bayesian neural networks (``tyxe.priors``).
+
+A :class:`Prior` walks the ``named_parameters()`` of a wrapped network and
+decides, per parameter, whether it receives a Bayesian treatment (becoming a
+``sample`` site with some prior distribution) or stays a deterministic
+parameter fit by maximum likelihood.  The hide/expose interface follows the
+paper exactly: parameters can be excluded or included by module instance,
+module type, parameter name (e.g. ``"bias"``) or full dotted name.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..nn import init as nn_init
+from ..nn.modules import Module
+from ..nn.tensor import Parameter, Tensor
+from ..ppl import distributions as dist
+
+__all__ = ["Prior", "IIDPrior", "LayerwiseNormalPrior", "DictPrior", "LambdaPrior"]
+
+
+class Prior:
+    """Base class implementing the hide/expose logic shared by all priors.
+
+    Parameters
+    ----------
+    expose_all:
+        Give every parameter a Bayesian treatment unless hidden (default).
+    hide_all:
+        Keep every parameter deterministic unless exposed.
+    expose / hide:
+        Full dotted parameter names (e.g. ``"fc.weight"``).
+    expose_modules / hide_modules:
+        Module *instances* whose parameters should be included/excluded.
+    expose_module_types / hide_module_types:
+        Module classes, e.g. ``hide_module_types=[nn.BatchNorm2d]``.
+    expose_parameters / hide_parameters:
+        Leaf attribute names, e.g. ``expose_parameters=["weight"]``.
+    """
+
+    def __init__(self,
+                 expose_all: bool = True,
+                 hide_all: bool = False,
+                 expose: Optional[Sequence[str]] = None,
+                 hide: Optional[Sequence[str]] = None,
+                 expose_modules: Optional[Sequence[Module]] = None,
+                 hide_modules: Optional[Sequence[Module]] = None,
+                 expose_module_types: Optional[Sequence[Type[Module]]] = None,
+                 hide_module_types: Optional[Sequence[Type[Module]]] = None,
+                 expose_parameters: Optional[Sequence[str]] = None,
+                 hide_parameters: Optional[Sequence[str]] = None) -> None:
+        if expose_all and hide_all:
+            raise ValueError("expose_all and hide_all cannot both be True")
+        self.expose_all = expose_all
+        self.hide_all = hide_all
+        self.expose = set(expose or [])
+        self.hide = set(hide or [])
+        self.expose_modules = list(expose_modules or [])
+        self.hide_modules = list(hide_modules or [])
+        self.expose_module_types = tuple(expose_module_types or ())
+        self.hide_module_types = tuple(hide_module_types or ())
+        self.expose_parameters = set(expose_parameters or [])
+        self.hide_parameters = set(hide_parameters or [])
+
+    # ----------------------------------------------------------- expose logic
+    def expose_parameter(self, module: Module, module_name: str,
+                         param_name: str, full_name: str) -> bool:
+        """Decide whether the parameter at ``full_name`` is treated Bayesianly."""
+        # explicit hides take precedence
+        if full_name in self.hide:
+            return False
+        if param_name in self.hide_parameters:
+            return False
+        if self.hide_module_types and isinstance(module, self.hide_module_types):
+            return False
+        if any(module is m for m in self.hide_modules):
+            return False
+        # explicit exposes
+        if full_name in self.expose:
+            return True
+        if param_name in self.expose_parameters:
+            return True
+        if self.expose_module_types and isinstance(module, self.expose_module_types):
+            return True
+        if any(module is m for m in self.expose_modules):
+            return True
+        # defaults
+        if self.hide_all:
+            return False
+        return self.expose_all
+
+    # ------------------------------------------------------------ prior dists
+    def prior_distribution(self, full_name: str, module: Module,
+                           parameter: Parameter) -> dist.Distribution:
+        """Return the prior distribution over the given parameter (event-shaped)."""
+        raise NotImplementedError
+
+    def get_distributions(self, net: Module) -> "OrderedDict[str, dist.Distribution]":
+        """Map every exposed parameter name of ``net`` to its prior distribution."""
+        out: "OrderedDict[str, dist.Distribution]" = OrderedDict()
+        for module_name, module in net.named_modules():
+            for param_name, parameter in module._parameters.items():
+                if parameter is None or not isinstance(parameter, Parameter):
+                    continue
+                full_name = f"{module_name}.{param_name}" if module_name else param_name
+                if self.expose_parameter(module, module_name, param_name, full_name):
+                    out[full_name] = self.prior_distribution(full_name, module, parameter)
+        return out
+
+    def hidden_parameters(self, net: Module) -> List[Tuple[str, Parameter]]:
+        """Parameters of ``net`` that stay deterministic under this prior."""
+        exposed = set(self.get_distributions(net))
+        return [(name, p) for name, p in net.named_parameters() if name not in exposed]
+
+    def update(self, distributions: Dict[str, dist.Distribution]) -> None:
+        """Replace per-site distributions (used by variational continual learning)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support update();"
+                                  " wrap the new distributions in a DictPrior instead")
+
+
+class IIDPrior(Prior):
+    """The same scalar base distribution applied i.i.d. to every exposed weight.
+
+    ``IIDPrior(dist.Normal(0., 1.))`` is the standard-normal weight prior used
+    throughout the paper's experiments.
+    """
+
+    def __init__(self, base_distribution: dist.Distribution, **expose_kwargs) -> None:
+        super().__init__(**expose_kwargs)
+        if base_distribution.batch_shape not in ((), (1,)):
+            raise ValueError("IIDPrior expects a scalar base distribution")
+        self.base_distribution = base_distribution
+
+    def prior_distribution(self, full_name: str, module: Module,
+                           parameter: Parameter) -> dist.Distribution:
+        shape = parameter.shape
+        return self.base_distribution.expand(shape).to_event(len(shape))
+
+
+class LayerwiseNormalPrior(Prior):
+    """Zero-mean Gaussian prior whose variance depends on the layer fan-in.
+
+    ``method`` selects the convention: ``"radford"`` (1/fan_in, Neal 1996),
+    ``"xavier"`` (2/(fan_in+fan_out), Glorot & Bengio 2010) or ``"kaiming"``
+    (2/fan_in, He et al. 2015).  Bias vectors receive a unit-variance prior.
+    """
+
+    METHODS = ("radford", "xavier", "kaiming")
+
+    def __init__(self, method: str = "radford", **expose_kwargs) -> None:
+        super().__init__(**expose_kwargs)
+        if method not in self.METHODS:
+            raise ValueError(f"method must be one of {self.METHODS}, got {method!r}")
+        self.method = method
+
+    def prior_distribution(self, full_name: str, module: Module,
+                           parameter: Parameter) -> dist.Distribution:
+        shape = parameter.shape
+        if len(shape) <= 1:
+            scale = 1.0
+        else:
+            scale = nn_init.fan_in_scale(shape, self.method)
+        return dist.Normal(np.zeros(shape), np.full(shape, scale)).to_event(len(shape))
+
+
+class DictPrior(Prior):
+    """Explicit per-parameter distributions, e.g. posteriors from a previous task.
+
+    Only parameters present in the dictionary are exposed; the distributions
+    are used verbatim (they must already have the parameter's event shape).
+    """
+
+    def __init__(self, distributions: Dict[str, dist.Distribution], **expose_kwargs) -> None:
+        expose_kwargs.setdefault("expose_all", True)
+        super().__init__(**expose_kwargs)
+        self.distributions = OrderedDict(distributions)
+
+    def expose_parameter(self, module: Module, module_name: str,
+                         param_name: str, full_name: str) -> bool:
+        if full_name not in self.distributions:
+            return False
+        return super().expose_parameter(module, module_name, param_name, full_name)
+
+    def prior_distribution(self, full_name: str, module: Module,
+                           parameter: Parameter) -> dist.Distribution:
+        return self.distributions[full_name]
+
+    def update(self, distributions: Dict[str, dist.Distribution]) -> None:
+        self.distributions.update(distributions)
+
+
+class LambdaPrior(Prior):
+    """Fully custom priors: a callable ``(full_name, module, parameter) -> Distribution``."""
+
+    def __init__(self, fn: Callable[[str, Module, Parameter], dist.Distribution],
+                 **expose_kwargs) -> None:
+        super().__init__(**expose_kwargs)
+        self.fn = fn
+
+    def prior_distribution(self, full_name: str, module: Module,
+                           parameter: Parameter) -> dist.Distribution:
+        return self.fn(full_name, module, parameter)

@@ -1,0 +1,46 @@
+"""Utility helpers mirroring ``tyxe.util``."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+from ..ppl import distributions as dist
+
+__all__ = ["pyro_sample_sites", "named_pyro_samples", "fan_in_fan_out", "to_numpy"]
+
+
+def pyro_sample_sites(bnn_or_net) -> Tuple[str, ...]:
+    """Names of the Bayesian (sampled) parameters of a BNN.
+
+    Accepts either a BNN wrapper (anything exposing ``bayesian_sites``) or a
+    plain network together with its prior dictionary; this is the helper used
+    in the variational-continual-learning recipe of Listing 6.
+    """
+    if hasattr(bnn_or_net, "bayesian_sites"):
+        return tuple(bnn_or_net.bayesian_sites())
+    if hasattr(bnn_or_net, "param_dists"):
+        return tuple(bnn_or_net.param_dists)
+    raise TypeError("expected a BNN wrapper with bayesian_sites() or param_dists")
+
+
+def named_pyro_samples(bnn) -> Dict[str, dist.Distribution]:
+    """Mapping from Bayesian site names to their current prior distributions."""
+    return dict(bnn.param_dists)
+
+
+def fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in/fan-out of a weight shape (re-exported for prior/guide helpers)."""
+    from ..nn.init import calculate_fan_in_and_fan_out
+
+    return calculate_fan_in_and_fan_out(shape)
+
+
+def to_numpy(value: Union[Tensor, np.ndarray, float]) -> np.ndarray:
+    """Convert tensors or scalars to a plain NumPy array."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value)

@@ -1,0 +1,73 @@
+"""Variational continual learning helpers (paper Section 5, Listing 6).
+
+The core mechanism is tiny because of the prior/guide separation: after
+fitting a task, the guide's per-site posterior distributions (detached from
+the autograd graph) become the prior for the next task via
+``bnn.update_prior(DictPrior(posteriors))``.  :func:`update_prior_to_posterior`
+packages the three lines of Listing 6; :class:`VCLState` adds bookkeeping for
+multi-task experiments (accuracy matrices, per-task heads are left to the
+experiment harness, matching the paper which does not use coresets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ppl import distributions as dist
+from .bnn import VariationalBNN
+from .priors import DictPrior
+from .util import pyro_sample_sites
+
+__all__ = ["update_prior_to_posterior", "VCLState"]
+
+
+def update_prior_to_posterior(bnn: VariationalBNN) -> Dict[str, dist.Distribution]:
+    """Set the BNN's prior to its current (detached) variational posterior.
+
+    Returns the dictionary of posterior distributions that became the new
+    prior, which callers may want to store per task.
+    """
+    bayesian_weights = pyro_sample_sites(bnn)
+    posteriors = bnn.net_guide.get_detached_distributions(bayesian_weights)
+    bnn.update_prior(DictPrior(posteriors))
+    return posteriors
+
+
+class VCLState:
+    """Bookkeeping for a sequential-task experiment.
+
+    Tracks, after training on each task, the accuracy on every task seen so
+    far — the quantity plotted in the paper's Figure 4 ("mean accuracy on
+    tasks seen so far").
+    """
+
+    def __init__(self, num_tasks: int) -> None:
+        self.num_tasks = num_tasks
+        # accuracy_matrix[i, j] = accuracy on task j after training tasks 0..i
+        self.accuracy_matrix = np.full((num_tasks, num_tasks), np.nan)
+
+    def record(self, after_task: int, task_accuracies: Sequence[float]) -> None:
+        for j, acc in enumerate(task_accuracies):
+            self.accuracy_matrix[after_task, j] = acc
+
+    def mean_accuracy(self, after_task: int) -> float:
+        """Mean accuracy over tasks 0..after_task after training on after_task."""
+        row = self.accuracy_matrix[after_task, : after_task + 1]
+        return float(np.nanmean(row))
+
+    def mean_accuracies(self) -> List[float]:
+        """The Figure-4 curve: mean accuracy over seen tasks, per training step."""
+        return [self.mean_accuracy(i) for i in range(self.num_tasks)
+                if not np.all(np.isnan(self.accuracy_matrix[i, : i + 1]))]
+
+    def forgetting(self) -> float:
+        """Average drop from the best accuracy ever achieved on each task."""
+        drops = []
+        for j in range(self.num_tasks):
+            column = self.accuracy_matrix[:, j]
+            seen = column[~np.isnan(column)]
+            if len(seen) > 1:
+                drops.append(float(np.max(seen) - seen[-1]))
+        return float(np.mean(drops)) if drops else 0.0

@@ -1,0 +1,24 @@
+"""``repro.datasets`` — synthetic data generators used by the experiments."""
+
+from .continual import (ContinualTask, make_split_cifar_like, make_split_mnist_like,
+                        make_split_tasks)
+from .graphs import CitationGraphData, make_citation_graph
+from .images import (ImageClassificationData, class_templates, make_image_classification_data,
+                     make_ood_images)
+from .regression import foong_regression, regression_grid, true_function
+
+__all__ = [
+    "foong_regression",
+    "regression_grid",
+    "true_function",
+    "ImageClassificationData",
+    "make_image_classification_data",
+    "make_ood_images",
+    "class_templates",
+    "CitationGraphData",
+    "make_citation_graph",
+    "ContinualTask",
+    "make_split_tasks",
+    "make_split_mnist_like",
+    "make_split_cifar_like",
+]

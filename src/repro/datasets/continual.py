@@ -1,0 +1,92 @@
+"""Task suites for continual learning (Split-MNIST / Split-CIFAR substitutes).
+
+A base multi-class synthetic dataset is partitioned into a sequence of binary
+(or few-class) tasks, exactly like the classic Split benchmarks: Split-MNIST
+pairs digits (0/1, 2/3, ...) into five binary tasks; the CIFAR-style suite
+produces six tasks from a 12-class image dataset.  Each task carries its own
+output-head indices, matching the multi-head protocol of Zenke et al. (2017)
+and the paper's Figure 4 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .images import class_templates, make_image_classification_data
+
+__all__ = ["ContinualTask", "make_split_tasks", "make_split_mnist_like", "make_split_cifar_like"]
+
+
+@dataclass
+class ContinualTask:
+    """One task of a Split suite: binary/few-way classification over a class subset."""
+
+    task_id: int
+    classes: Tuple[int, ...]
+    train_inputs: np.ndarray
+    train_labels: np.ndarray  # relabelled to 0..len(classes)-1
+    test_inputs: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+
+def _relabel(labels: np.ndarray, classes: Sequence[int]) -> np.ndarray:
+    mapping = {c: i for i, c in enumerate(classes)}
+    return np.array([mapping[int(l)] for l in labels])
+
+
+def make_split_tasks(images: np.ndarray, labels: np.ndarray, test_images: np.ndarray,
+                     test_labels: np.ndarray, classes_per_task: int = 2) -> List[ContinualTask]:
+    """Partition a multi-class dataset into consecutive class-pair tasks."""
+    all_classes = np.unique(labels)
+    tasks = []
+    for task_id, start in enumerate(range(0, len(all_classes), classes_per_task)):
+        classes = tuple(int(c) for c in all_classes[start:start + classes_per_task])
+        if len(classes) < classes_per_task:
+            break
+        train_sel = np.isin(labels, classes)
+        test_sel = np.isin(test_labels, classes)
+        tasks.append(ContinualTask(
+            task_id=task_id,
+            classes=classes,
+            train_inputs=images[train_sel],
+            train_labels=_relabel(labels[train_sel], classes),
+            test_inputs=test_images[test_sel],
+            test_labels=_relabel(test_labels[test_sel], classes),
+        ))
+    return tasks
+
+
+def make_split_mnist_like(num_tasks: int = 5, image_size: int = 8, train_per_class: int = 30,
+                          test_per_class: int = 20, noise_scale: float = 0.5,
+                          seed: int = 0) -> List[ContinualTask]:
+    """Five binary tasks over a 10-class grayscale digit-like dataset, flattened.
+
+    Inputs are flattened to vectors because the paper's Split-MNIST network is
+    a fully connected MLP (Appendix A.4).
+    """
+    data = make_image_classification_data(num_classes=2 * num_tasks, image_size=image_size,
+                                          channels=1, train_per_class=train_per_class,
+                                          test_per_class=test_per_class,
+                                          noise_scale=noise_scale, seed=seed)
+    flat_train = data.train_images.reshape(len(data.train_images), -1)
+    flat_test = data.test_images.reshape(len(data.test_images), -1)
+    return make_split_tasks(flat_train, data.train_labels, flat_test, data.test_labels)
+
+
+def make_split_cifar_like(num_tasks: int = 6, image_size: int = 8, train_per_class: int = 30,
+                          test_per_class: int = 20, noise_scale: float = 0.6,
+                          seed: int = 1) -> List[ContinualTask]:
+    """Six binary tasks over a 12-class colour image dataset (kept as NCHW images)."""
+    data = make_image_classification_data(num_classes=2 * num_tasks, image_size=image_size,
+                                          channels=3, train_per_class=train_per_class,
+                                          test_per_class=test_per_class,
+                                          noise_scale=noise_scale, seed=seed)
+    return make_split_tasks(data.train_images, data.train_labels,
+                            data.test_images, data.test_labels)

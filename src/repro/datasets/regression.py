@@ -1,0 +1,35 @@
+"""Synthetic regression data (the Foong et al. 2019 setup from paper Section 2).
+
+Inputs come from two clusters ``x1 ~ U[-1, -0.7]`` and ``x2 ~ U[0.5, 1]`` and
+targets are ``y ~ N(cos(4x + 0.8), 0.1^2)``, leaving an "in-between" region
+where a good Bayesian model should be uncertain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["foong_regression", "regression_grid", "true_function"]
+
+
+def true_function(x: np.ndarray) -> np.ndarray:
+    """The noiseless target ``cos(4x + 0.8)``."""
+    return np.cos(4.0 * x + 0.8)
+
+
+def foong_regression(n_per_cluster: int = 40, noise_scale: float = 0.1,
+                     seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the two-cluster 1-D regression dataset; returns ``(x, y)`` of shape (N, 1)."""
+    rng = np.random.default_rng(seed)
+    x1 = rng.uniform(-1.0, -0.7, size=(n_per_cluster, 1))
+    x2 = rng.uniform(0.5, 1.0, size=(n_per_cluster, 1))
+    x = np.concatenate([x1, x2], axis=0)
+    y = true_function(x) + rng.normal(0.0, noise_scale, size=x.shape)
+    return x, y
+
+
+def regression_grid(low: float = -1.5, high: float = 1.5, num_points: int = 100) -> np.ndarray:
+    """Evenly spaced test inputs covering the data clusters and the gap between them."""
+    return np.linspace(low, high, num_points).reshape(-1, 1)

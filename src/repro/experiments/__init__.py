@@ -1,0 +1,17 @@
+"""``repro.experiments`` — one harness per paper table/figure.
+
+========  =======================  =============================================
+Exp. id   Paper artefact           Entry point
+========  =======================  =============================================
+E1        Figure 1 (regression)    :func:`repro.experiments.regression.run_figure1`
+E2        Table 1 (ResNet)         :func:`repro.experiments.image_classification.run_inference_comparison`
+E3        Figure 2 (calibration)   :func:`repro.experiments.image_classification.figure2_curves`
+E4        Table 2 (GNN)            :func:`repro.experiments.gnn_classification.run_gnn_comparison`
+E5        Figure 3 (NeRF)          :func:`repro.experiments.nerf.run_nerf_experiment`
+E6        Figure 4 (VCL)           :func:`repro.experiments.continual.run_figure4`
+========  =======================  =============================================
+"""
+
+from . import continual, gnn_classification, image_classification, nerf, regression
+
+__all__ = ["regression", "image_classification", "gnn_classification", "nerf", "continual"]

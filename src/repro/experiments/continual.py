@@ -1,0 +1,222 @@
+"""Experiment E6 — Figure 4: variational continual learning vs. maximum likelihood.
+
+Reproduces the Split-MNIST / Split-CIFAR comparison: a sequence of binary
+classification tasks is learned one after the other; after each task the mean
+accuracy over all tasks seen so far is recorded.  The ML baseline fine-tunes
+the same network sequentially and forgets earlier tasks; VCL updates the BNN
+prior to the previous posterior after each task (Listing 6) and retains them.
+
+The networks follow Appendix A.4 at reduced scale: a single-hidden-layer MLP
+with one output head per task for the MNIST-style suite, and a small
+conv-conv-pool network for the CIFAR-style suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import core as tyxe
+from .. import metrics, nn, ppl
+from ..core.vcl import VCLState, update_prior_to_posterior
+from ..datasets.continual import ContinualTask, make_split_cifar_like, make_split_mnist_like
+from ..nn import functional as F
+from ..ppl import distributions as dist
+
+__all__ = ["ContinualConfig", "ContinualResult", "MultiHeadNet", "run_vcl", "run_ml_baseline",
+           "run_figure4"]
+
+
+@dataclass
+class ContinualConfig:
+    """Sizes and hyper-parameters of the continual-learning experiment."""
+
+    suite: str = "mnist"  # "mnist" or "cifar"
+    num_tasks: int = 5
+    image_size: int = 8
+    train_per_class: int = 30
+    test_per_class: int = 20
+    hidden: int = 32
+    epochs_per_task: int = 100
+    learning_rate: float = 3e-3
+    init_scale: float = 1e-2
+    num_predictions: int = 8
+    batch_size: int = 60
+    single_head: bool = True
+    seed: int = 0
+
+    @classmethod
+    def fast(cls, suite: str = "mnist") -> "ContinualConfig":
+        num_tasks = 3 if suite == "mnist" else 2
+        return cls(suite=suite, num_tasks=num_tasks, train_per_class=12, test_per_class=8,
+                   hidden=24, epochs_per_task=10, num_predictions=4)
+
+
+@dataclass
+class ContinualResult:
+    """Mean-accuracy-over-seen-tasks curve (one line of Figure 4)."""
+
+    method: str
+    suite: str
+    mean_accuracies: List[float]
+    accuracy_matrix: np.ndarray
+    forgetting: float
+    extra: Dict = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        return {"method": self.method, "suite": self.suite,
+                "mean_accuracies": self.mean_accuracies, "forgetting": self.forgetting}
+
+
+class MultiHeadNet(nn.Module):
+    """Shared body with one output head per task (the multi-head Split protocol).
+
+    ``set_active_task`` selects which head the forward pass uses; all heads'
+    parameters exist from the start so the Bayesian treatment covers them.
+    """
+
+    def __init__(self, body: nn.Module, body_out: int, num_tasks: int, classes_per_task: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.body = body
+        self.heads = nn.ModuleList([nn.Linear(body_out, classes_per_task, rng=rng)
+                                    for _ in range(num_tasks)])
+        self.active_task = 0
+
+    def set_active_task(self, task_id: int) -> None:
+        # with a single shared head (domain-incremental protocol) every task
+        # maps to head 0; otherwise each task has its own head
+        object.__setattr__(self, "active_task", task_id if task_id < len(self.heads) else 0)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        features = self.body(x)
+        return self.heads[self.active_task](features)
+
+
+def _make_tasks(config: ContinualConfig) -> List[ContinualTask]:
+    if config.suite == "mnist":
+        return make_split_mnist_like(num_tasks=config.num_tasks, image_size=config.image_size,
+                                     train_per_class=config.train_per_class,
+                                     test_per_class=config.test_per_class, seed=config.seed)
+    if config.suite == "cifar":
+        return make_split_cifar_like(num_tasks=config.num_tasks, image_size=config.image_size,
+                                     train_per_class=config.train_per_class,
+                                     test_per_class=config.test_per_class, seed=config.seed)
+    raise ValueError(f"unknown suite {config.suite!r}; use 'mnist' or 'cifar'")
+
+
+def _make_net(config: ContinualConfig, rng: np.random.Generator) -> MultiHeadNet:
+    num_heads = 1 if config.single_head else config.num_tasks
+    if config.suite == "mnist":
+        in_features = config.image_size ** 2
+        body = nn.Sequential(nn.Linear(in_features, config.hidden, rng=rng), nn.ReLU())
+        return MultiHeadNet(body, config.hidden, num_heads, 2, rng=rng)
+    channels = (8, 16)
+    final_size = config.image_size // 4
+    flat = channels[1] * final_size * final_size
+    body = nn.Sequential(
+        nn.models.ConvBlock(3, channels[0], rng=rng),
+        nn.models.ConvBlock(channels[0], channels[1], rng=rng),
+        nn.Flatten(),
+        nn.Linear(flat, config.hidden, rng=rng),
+        nn.ReLU(),
+    )
+    return MultiHeadNet(body, config.hidden, num_heads, 2, rng=rng)
+
+
+def _task_accuracy_bnn(bnn: tyxe.VariationalBNN, net: MultiHeadNet, task: ContinualTask,
+                       num_predictions: int) -> float:
+    net.set_active_task(task.task_id)
+    agg = bnn.predict(nn.Tensor(task.test_inputs), num_predictions=num_predictions,
+                      aggregate=True)
+    return metrics.accuracy(metrics.as_probs(agg, from_logits=True), task.test_labels)
+
+
+def _task_accuracy_ml(net: MultiHeadNet, task: ContinualTask) -> float:
+    net.set_active_task(task.task_id)
+    with nn.no_grad():
+        logits = net(nn.Tensor(task.test_inputs))
+    return metrics.accuracy(metrics.as_probs(logits, from_logits=True), task.test_labels)
+
+
+def run_vcl(config: Optional[ContinualConfig] = None) -> ContinualResult:
+    """Variational continual learning: prior <- posterior between tasks."""
+    config = config or ContinualConfig()
+    ppl.set_rng_seed(config.seed)
+    ppl.clear_param_store()
+    rng = np.random.default_rng(config.seed)
+    tasks = _make_tasks(config)
+    net = _make_net(config, rng)
+
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    guide = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(net))
+    state = VCLState(len(tasks))
+
+    bnn: Optional[tyxe.VariationalBNN] = None
+    for task in tasks:
+        net.set_active_task(task.task_id)
+        likelihood = tyxe.likelihoods.Categorical(dataset_size=len(task.train_inputs))
+        if bnn is None:
+            bnn = tyxe.VariationalBNN(net, prior, likelihood, guide)
+        else:
+            bnn.likelihood = likelihood
+        loader = nn.DataLoader(nn.TensorDataset(task.train_inputs, task.train_labels),
+                               batch_size=config.batch_size, shuffle=True,
+                               rng=np.random.default_rng(config.seed + task.task_id))
+        optim = ppl.optim.Adam({"lr": config.learning_rate})
+        with tyxe.poutine.local_reparameterization():
+            bnn.fit(loader, optim, config.epochs_per_task)
+        # record accuracy on all tasks seen so far
+        accuracies = [_task_accuracy_bnn(bnn, net, t, config.num_predictions)
+                      for t in tasks[: task.task_id + 1]]
+        state.record(task.task_id, accuracies)
+        # posterior becomes the prior of the next task (Listing 6)
+        update_prior_to_posterior(bnn)
+    return ContinualResult(method="vcl", suite=config.suite,
+                           mean_accuracies=state.mean_accuracies(),
+                           accuracy_matrix=state.accuracy_matrix,
+                           forgetting=state.forgetting())
+
+
+def run_ml_baseline(config: Optional[ContinualConfig] = None) -> ContinualResult:
+    """Sequential maximum-likelihood fine-tuning (the forgetting baseline)."""
+    config = config or ContinualConfig()
+    rng = np.random.default_rng(config.seed)
+    tasks = _make_tasks(config)
+    net = _make_net(config, rng)
+    state = VCLState(len(tasks))
+    optim = nn.Adam(net.parameters(), lr=config.learning_rate)
+
+    for task in tasks:
+        net.set_active_task(task.task_id)
+        loader = nn.DataLoader(nn.TensorDataset(task.train_inputs, task.train_labels),
+                               batch_size=config.batch_size, shuffle=True,
+                               rng=np.random.default_rng(config.seed + task.task_id))
+        for _ in range(config.epochs_per_task):
+            for x, y in loader:
+                optim.zero_grad()
+                loss = F.cross_entropy(net(x), y.data.astype(np.int64))
+                loss.backward()
+                optim.step()
+        accuracies = [_task_accuracy_ml(net, t) for t in tasks[: task.task_id + 1]]
+        state.record(task.task_id, accuracies)
+    return ContinualResult(method="ml", suite=config.suite,
+                           mean_accuracies=state.mean_accuracies(),
+                           accuracy_matrix=state.accuracy_matrix,
+                           forgetting=state.forgetting())
+
+
+def run_figure4(mnist_config: Optional[ContinualConfig] = None,
+                cifar_config: Optional[ContinualConfig] = None
+                ) -> Dict[str, Dict[str, ContinualResult]]:
+    """Both suites, both methods — the four curves of Figure 4."""
+    mnist_config = mnist_config or ContinualConfig(suite="mnist", num_tasks=5)
+    cifar_config = cifar_config or ContinualConfig(suite="cifar", num_tasks=6)
+    return {
+        "mnist": {"ml": run_ml_baseline(mnist_config), "vcl": run_vcl(mnist_config)},
+        "cifar": {"ml": run_ml_baseline(cifar_config), "vcl": run_vcl(cifar_config)},
+    }

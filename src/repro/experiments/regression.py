@@ -1,0 +1,170 @@
+"""Experiment E1 — Figure 1: Bayesian nonlinear regression.
+
+Reproduces the three panels of the paper's Figure 1 on the Foong et al.
+two-cluster dataset with a 1-50-1 tanh network, a standard-normal prior and a
+``HomoskedasticGaussian(scale=0.1)`` likelihood:
+
+* (a) mean-field variational inference trained *and predicted* under local
+  reparameterization,
+* (b) the same posterior with shared weight samples per batch (prediction
+  outside the local-reparameterization context),
+* (c) HMC.
+
+The quantity of interest is the shape of the predictive uncertainty: small on
+the two data clusters, larger in between and outside, with HMC giving the
+widest in-between error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn, ppl
+from .. import core as tyxe
+from ..datasets.regression import foong_regression, regression_grid, true_function
+from ..ppl import distributions as dist
+
+__all__ = ["RegressionConfig", "RegressionResult", "run_variational_regression",
+           "run_hmc_regression", "run_figure1"]
+
+
+@dataclass
+class RegressionConfig:
+    """Sizes and hyper-parameters for the Figure-1 experiment."""
+
+    n_per_cluster: int = 40
+    noise_scale: float = 0.1
+    hidden_units: int = 50
+    num_epochs: int = 800
+    learning_rate: float = 1e-2
+    init_scale: float = 0.05
+    num_predictions: int = 32
+    batch_size: int = 80
+    hmc_num_samples: int = 80
+    hmc_warmup: int = 80
+    hmc_step_size: float = 5e-4
+    hmc_num_steps: int = 15
+    seed: int = 42
+
+
+@dataclass
+class RegressionResult:
+    """Predictive statistics on the evaluation grid plus summary scalars."""
+
+    method: str
+    x_grid: np.ndarray
+    predictive_mean: np.ndarray
+    predictive_std: np.ndarray
+    train_log_likelihood: float
+    train_squared_error: float
+    in_between_std: float
+    on_data_std: float
+    extra: Dict = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "method": self.method,
+            "train_log_likelihood": self.train_log_likelihood,
+            "train_squared_error": self.train_squared_error,
+            "in_between_std": self.in_between_std,
+            "on_data_std": self.on_data_std,
+        }
+
+
+def _region_stds(x_grid: np.ndarray, std: np.ndarray) -> Dict[str, float]:
+    x = x_grid.squeeze()
+    in_between = std[(x > -0.5) & (x < 0.3)].mean()
+    on_data = std[((x >= -1.0) & (x <= -0.7)) | ((x >= 0.5) & (x <= 1.0))].mean()
+    return {"in_between": float(in_between), "on_data": float(on_data)}
+
+
+def _build_bnn(config: RegressionConfig, dataset_size: int, guide_factory) -> tyxe.VariationalBNN:
+    rng = np.random.default_rng(config.seed)
+    net = nn.Sequential(nn.Linear(1, config.hidden_units, rng=rng), nn.Tanh(),
+                        nn.Linear(config.hidden_units, 1, rng=rng))
+    likelihood = tyxe.likelihoods.HomoskedasticGaussian(dataset_size, scale=config.noise_scale)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    return tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+
+
+def run_variational_regression(config: Optional[RegressionConfig] = None,
+                               local_reparam_predict: bool = True) -> RegressionResult:
+    """Panels (a)/(b): mean-field VI with/without local reparameterization at test time."""
+    config = config or RegressionConfig()
+    ppl.set_rng_seed(config.seed)
+    ppl.clear_param_store()
+    x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
+    x_grid = regression_grid()
+
+    guide_factory = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
+                            init_loc_fn=tyxe.guides.init_to_normal("radford"))
+    bnn = _build_bnn(config, len(x), guide_factory)
+    loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=config.batch_size, shuffle=True,
+                           rng=np.random.default_rng(config.seed))
+    optim = ppl.optim.Adam({"lr": config.learning_rate})
+
+    losses = []
+    with tyxe.poutine.local_reparameterization():
+        bnn.fit(loader, optim, config.num_epochs,
+                callback=lambda b, e, l: losses.append(l) and False)
+        if local_reparam_predict:
+            grid_preds = bnn.predict(x_grid, num_predictions=config.num_predictions, aggregate=False)
+    if not local_reparam_predict:
+        grid_preds = bnn.predict(x_grid, num_predictions=config.num_predictions, aggregate=False)
+
+    mean = grid_preds.data.mean(axis=0).squeeze()
+    std = bnn.likelihood.predictive_stddev(grid_preds).squeeze()
+    regions = _region_stds(x_grid, std)
+    ll, err = bnn.evaluate(x, y, num_predictions=config.num_predictions)
+    method = "local_reparameterization" if local_reparam_predict else "shared_weight_samples"
+    return RegressionResult(method=method, x_grid=x_grid, predictive_mean=mean,
+                            predictive_std=std, train_log_likelihood=ll,
+                            train_squared_error=err, in_between_std=regions["in_between"],
+                            on_data_std=regions["on_data"], extra={"losses": losses})
+
+
+def run_hmc_regression(config: Optional[RegressionConfig] = None) -> RegressionResult:
+    """Panel (c): the same model with HMC as the inference procedure."""
+    config = config or RegressionConfig()
+    ppl.set_rng_seed(config.seed)
+    ppl.clear_param_store()
+    x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
+    x_grid = regression_grid()
+
+    rng = np.random.default_rng(config.seed)
+    net = nn.Sequential(nn.Linear(1, config.hidden_units, rng=rng), nn.Tanh(),
+                        nn.Linear(config.hidden_units, 1, rng=rng))
+    likelihood = tyxe.likelihoods.HomoskedasticGaussian(len(x), scale=config.noise_scale)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    kernel_builder = partial(ppl.infer.HMC, step_size=config.hmc_step_size,
+                             num_steps=config.hmc_num_steps)
+    bnn = tyxe.MCMC_BNN(net, prior, likelihood, kernel_builder)
+    bnn.fit((x, y), num_samples=config.hmc_num_samples, warmup_steps=config.hmc_warmup)
+
+    grid_preds = bnn.predict(x_grid, num_predictions=config.num_predictions, aggregate=False)
+    mean = grid_preds.data.mean(axis=0).squeeze()
+    std = bnn.likelihood.predictive_stddev(grid_preds).squeeze()
+    regions = _region_stds(x_grid, std)
+    agg = bnn.predict(x, num_predictions=config.num_predictions, aggregate=True)
+    ll = bnn.likelihood.log_likelihood(agg, nn.Tensor(y))
+    err = bnn.likelihood.error(agg, nn.Tensor(y))
+    accept = float(np.mean([d["accept_prob"] for d in bnn._mcmc.diagnostics]))
+    return RegressionResult(method="hmc", x_grid=x_grid, predictive_mean=mean,
+                            predictive_std=std, train_log_likelihood=ll,
+                            train_squared_error=err, in_between_std=regions["in_between"],
+                            on_data_std=regions["on_data"],
+                            extra={"mean_accept_prob": accept})
+
+
+def run_figure1(config: Optional[RegressionConfig] = None) -> Dict[str, RegressionResult]:
+    """Run all three panels and return their results keyed by method name."""
+    config = config or RegressionConfig()
+    return {
+        "local_reparameterization": run_variational_regression(config, local_reparam_predict=True),
+        "shared_weight_samples": run_variational_regression(config, local_reparam_predict=False),
+        "hmc": run_hmc_regression(config),
+    }

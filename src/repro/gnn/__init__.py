@@ -1,0 +1,6 @@
+"""``repro.gnn`` — graph neural-network substrate (DGL substitute)."""
+
+from .graph import Graph, from_edges, from_networkx
+from .layers import GCN, GCNLayer, two_layer_gcn
+
+__all__ = ["Graph", "from_networkx", "from_edges", "GCNLayer", "GCN", "two_layer_gcn"]

@@ -1,0 +1,25 @@
+"""``repro.metrics`` — evaluation metrics for all experiments."""
+
+from .calibration import calibration_curve, expected_calibration_error
+from .classification import accuracy, as_probs, brier_score, nll
+from .ood import auroc, entropy_cdf, ood_auroc_max_prob, predictive_entropy
+from .regression import (gaussian_nll, image_error, mean_squared_error,
+                         prediction_interval_coverage, root_mean_squared_error)
+
+__all__ = [
+    "accuracy",
+    "nll",
+    "brier_score",
+    "as_probs",
+    "expected_calibration_error",
+    "calibration_curve",
+    "predictive_entropy",
+    "auroc",
+    "ood_auroc_max_prob",
+    "entropy_cdf",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "gaussian_nll",
+    "prediction_interval_coverage",
+    "image_error",
+]

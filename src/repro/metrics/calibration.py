@@ -1,0 +1,64 @@
+"""Calibration metrics: expected calibration error and reliability curves.
+
+These produce exactly the quantities of the paper's Table 1/2 (ECE, computed
+with 10 equal-width confidence bins as in Appendix A.2) and Figure 2(a)
+(empirical accuracy per predicted-probability bin).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .classification import as_probs
+
+__all__ = ["expected_calibration_error", "calibration_curve"]
+
+
+def _confidences_and_correct(probs, labels, from_logits: bool) -> Tuple[np.ndarray, np.ndarray]:
+    p = as_probs(probs, from_logits)
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels, dtype=np.int64)
+    confidences = p.max(axis=-1)
+    correct = (p.argmax(axis=-1) == labels).astype(np.float64)
+    return confidences, correct
+
+
+def expected_calibration_error(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
+                               num_bins: int = 10, from_logits: bool = False) -> float:
+    """ECE: confidence-vs-accuracy gap averaged over equal-width confidence bins."""
+    confidences, correct = _confidences_and_correct(probs, labels, from_logits)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    ece = 0.0
+    n = len(confidences)
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = (confidences > low) & (confidences <= high)
+        if not np.any(in_bin):
+            continue
+        bin_confidence = confidences[in_bin].mean()
+        bin_accuracy = correct[in_bin].mean()
+        ece += (in_bin.sum() / n) * abs(bin_confidence - bin_accuracy)
+    return float(ece)
+
+
+def calibration_curve(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
+                      num_bins: int = 10, from_logits: bool = False
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reliability diagram data: (bin confidence, bin accuracy, bin count).
+
+    Bins with no samples are reported with NaN accuracy/confidence so callers
+    can plot or skip them explicitly (Figure 2a of the paper).
+    """
+    confidences, correct = _confidences_and_correct(probs, labels, from_logits)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_confidence = np.full(num_bins, np.nan)
+    bin_accuracy = np.full(num_bins, np.nan)
+    bin_count = np.zeros(num_bins, dtype=np.int64)
+    for i, (low, high) in enumerate(zip(edges[:-1], edges[1:])):
+        in_bin = (confidences > low) & (confidences <= high)
+        bin_count[i] = int(in_bin.sum())
+        if bin_count[i] > 0:
+            bin_confidence[i] = confidences[in_bin].mean()
+            bin_accuracy[i] = correct[in_bin].mean()
+    return bin_confidence, bin_accuracy, bin_count

@@ -1,0 +1,48 @@
+"""Classification metrics: accuracy, negative log likelihood, Brier score."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["accuracy", "nll", "brier_score", "as_probs"]
+
+
+def as_probs(values: Union[np.ndarray, Tensor], from_logits: bool = False) -> np.ndarray:
+    """Convert logits or probabilities to a normalized probability array."""
+    arr = values.data if isinstance(values, Tensor) else np.asarray(values, dtype=np.float64)
+    if from_logits:
+        arr = arr - arr.max(axis=-1, keepdims=True)
+        arr = np.exp(arr)
+    arr = np.clip(arr, 1e-12, None)
+    return arr / arr.sum(axis=-1, keepdims=True)
+
+
+def accuracy(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
+             from_logits: bool = False) -> float:
+    """Fraction of correct argmax predictions."""
+    p = as_probs(probs, from_logits)
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels, dtype=np.int64)
+    return float((p.argmax(axis=-1) == labels).mean())
+
+
+def nll(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
+        from_logits: bool = False) -> float:
+    """Average negative log likelihood of the true labels."""
+    p = as_probs(probs, from_logits)
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels, dtype=np.int64)
+    picked = p[np.arange(len(labels)), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def brier_score(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
+                from_logits: bool = False) -> float:
+    """Mean squared difference between predicted probabilities and one-hot labels."""
+    p = as_probs(probs, from_logits)
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels, dtype=np.int64)
+    one_hot = np.zeros_like(p)
+    one_hot[np.arange(len(labels)), labels] = 1.0
+    return float(((p - one_hot) ** 2).sum(axis=-1).mean())

@@ -1,0 +1,46 @@
+"""Regression and image-reconstruction metrics."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["mean_squared_error", "root_mean_squared_error", "gaussian_nll",
+           "prediction_interval_coverage", "image_error"]
+
+
+def _arr(x) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+
+
+def mean_squared_error(predictions, targets) -> float:
+    return float(((_arr(predictions) - _arr(targets)) ** 2).mean())
+
+
+def root_mean_squared_error(predictions, targets) -> float:
+    return float(np.sqrt(mean_squared_error(predictions, targets)))
+
+
+def gaussian_nll(mean, std, targets) -> float:
+    """Average negative log density of ``targets`` under ``N(mean, std^2)``."""
+    mean_a, std_a, t = _arr(mean), np.clip(_arr(std), 1e-12, None), _arr(targets)
+    return float((0.5 * np.log(2 * np.pi * std_a ** 2) + (t - mean_a) ** 2 / (2 * std_a ** 2)).mean())
+
+
+def prediction_interval_coverage(mean, std, targets, num_std: float = 2.0) -> float:
+    """Fraction of targets falling within ``mean ± num_std * std``."""
+    mean_a, std_a, t = _arr(mean), _arr(std), _arr(targets)
+    inside = np.abs(t - mean_a) <= num_std * std_a
+    return float(inside.mean())
+
+
+def image_error(predicted, target) -> float:
+    """Mean squared per-pixel error between rendered and target images.
+
+    This is the held-out-view error reported for the NeRF experiment
+    (paper Figure 3: 9.4e-3 deterministic vs 8.1e-3 Bayesian).
+    """
+    return mean_squared_error(predicted, target)

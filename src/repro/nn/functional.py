@@ -1,0 +1,364 @@
+"""Functional neural-network operations on :class:`repro.nn.Tensor`.
+
+Mirrors ``torch.nn.functional``.  The linear-map operations (:func:`linear`,
+:func:`conv2d`) are registered as *effectful*: effect handlers (such as the
+local-reparameterization and flipout messengers in :mod:`repro.core.poutine`)
+can intercept them at runtime and change how the linear computation is
+carried out, without the layer classes knowing anything about it.  This is
+the exact mechanism the TyXe paper describes for its
+``_ReparameterizationMessenger`` classes (monkey-patching ``F.linear`` /
+``F.conv2d`` with effectful versions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, concatenate, is_grad_enabled, unbroadcast, where
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "batch_norm",
+    "dropout",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "softplus",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "one_hot",
+    "register_linear_op_handler",
+    "unregister_linear_op_handler",
+    "active_linear_op_handlers",
+    "register_dropout_handler",
+    "unregister_dropout_handler",
+]
+
+
+# --------------------------------------------------------------------------
+# Effectful linear-op registry.
+#
+# Handlers are objects exposing ``process_linear_op(op, inputs, weight, bias,
+# default_fn, **kwargs)`` that either return a Tensor (taking over the
+# computation) or ``None`` (falling through to the next handler / default).
+# Handlers are consulted innermost (most recently registered) first.
+# --------------------------------------------------------------------------
+_LINEAR_OP_HANDLERS: List[object] = []
+
+
+def register_linear_op_handler(handler: object) -> None:
+    """Push an effect handler intercepting linear/conv operations."""
+    _LINEAR_OP_HANDLERS.append(handler)
+
+
+def unregister_linear_op_handler(handler: object) -> None:
+    """Remove a previously registered effect handler."""
+    _LINEAR_OP_HANDLERS.remove(handler)
+
+
+def active_linear_op_handlers() -> Tuple[object, ...]:
+    """Return the currently active handlers, innermost last."""
+    return tuple(_LINEAR_OP_HANDLERS)
+
+
+def _dispatch_linear_op(op: str, default_fn: Callable[..., Tensor], x: Tensor,
+                        weight: Tensor, bias: Optional[Tensor], **kwargs) -> Tensor:
+    for handler in reversed(_LINEAR_OP_HANDLERS):
+        result = handler.process_linear_op(op, x, weight, bias, default_fn, **kwargs)
+        if result is not None:
+            return result
+    return default_fn(x, weight, bias, **kwargs)
+
+
+# ----------------------------------------------------------------- activations
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softplus(x: Tensor) -> Tensor:
+    return x.softplus()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x - x.logsumexp(axis=axis, keepdims=True)
+
+
+# --------------------------------------------------------------------- linear
+def _linear_default(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``.
+
+    Registered as an effectful linear op.
+    """
+    return _dispatch_linear_op("linear", _linear_default, x, weight, bias)
+
+
+# --------------------------------------------------------------------- conv2d
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding windows: returns (N, out_h, out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int, stride: int) -> np.ndarray:
+    """Scatter-add column gradients back to the input image."""
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+    grad = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            grad[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    return grad
+
+
+def _conv2d_default(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                    stride: int = 1, padding: int = 0) -> Tensor:
+    """Direct im2col convolution.  ``weight``: (out_c, in_c, kh, kw)."""
+    xp = x.pad2d(padding) if padding else x
+    out_c, in_c, kh, kw = weight.shape
+    cols_np, out_h, out_w = _im2col(xp.data, kh, kw, stride)
+    n = xp.shape[0]
+    w_mat = weight.reshape(out_c, in_c * kh * kw)
+
+    # Build output through explicit graph construction so gradients flow to
+    # both input columns and the weight matrix.
+    cols = Tensor(cols_np.reshape(n * out_h * out_w, -1))
+    cols.requires_grad = is_grad_enabled() and xp.requires_grad
+    if cols.requires_grad:
+        cols._prev = (xp,)
+        cols._op = "im2col"
+
+        def _backward_cols():
+            grad_im = _col2im(cols.grad.reshape(n, out_h, out_w, -1), xp.shape, kh, kw, stride)
+            xp._accumulate(grad_im)
+
+        cols._backward = _backward_cols
+
+    out_flat = cols @ w_mat.T  # (N*oh*ow, out_c)
+    if bias is not None:
+        out_flat = out_flat + bias
+    out = out_flat.reshape(n, out_h, out_w, out_c).transpose((0, 3, 1, 2))
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over an ``(N, C, H, W)`` input.
+
+    Registered as an effectful linear op so reparameterization messengers can
+    intercept it.
+    """
+    return _dispatch_linear_op("conv2d", _conv2d_default, x, weight, bias,
+                               stride=stride, padding=padding)
+
+
+# -------------------------------------------------------------------- pooling
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h = (h - kernel_size) // stride + 1
+    out_w = (w - kernel_size) // stride + 1
+    s0, s1, s2, s3 = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kernel_size, kernel_size),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, -1)
+    idx = flat.argmax(axis=-1)
+    data = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+
+    out = Tensor(data, requires_grad=is_grad_enabled() and x.requires_grad)
+    if out.requires_grad:
+        out._prev = (x,)
+        out._op = "max_pool2d"
+
+        def _backward():
+            grad = np.zeros_like(x.data)
+            ki, kj = np.unravel_index(idx, (kernel_size, kernel_size))
+            nn_, cc, oh, ow = np.meshgrid(np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij")
+            rows = oh * stride + ki
+            cols = ow * stride + kj
+            np.add.at(grad, (nn_, cc, rows, cols), out.grad)
+            x._accumulate(grad)
+
+        out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h = (h - kernel_size) // stride + 1
+    out_w = (w - kernel_size) // stride + 1
+    parts = []
+    for i in range(kernel_size):
+        for j in range(kernel_size):
+            parts.append(x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride])
+    total = parts[0]
+    for p in parts[1:]:
+        total = total + p
+    return total / float(kernel_size * kernel_size)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Global average pooling when ``output_size == 1`` (the only supported size)."""
+    if output_size != 1:
+        raise NotImplementedError("only global (1x1) adaptive average pooling is supported")
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# ----------------------------------------------------------------- batch norm
+def batch_norm(x: Tensor, running_mean: np.ndarray, running_var: np.ndarray,
+               weight: Optional[Tensor], bias: Optional[Tensor],
+               training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """Batch normalization over the channel dimension of 2-D or 4-D input."""
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        view = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        view = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2D or 4D input, got {x.ndim}D")
+
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        if running_mean is not None:
+            running_mean *= (1 - momentum)
+            running_mean += momentum * mean.data.reshape(-1)
+            running_var *= (1 - momentum)
+            running_var += momentum * var.data.reshape(-1)
+    else:
+        mean = Tensor(running_mean.reshape(view))
+        var = Tensor(running_var.reshape(view))
+
+    x_hat = (x - mean) / (var + eps).sqrt()
+    if weight is not None:
+        x_hat = x_hat * weight.reshape(*view)
+    if bias is not None:
+        x_hat = x_hat + bias.reshape(*view)
+    return x_hat
+
+
+# -------------------------------------------------------------------- dropout
+# Dropout is also registered as an effectful operation so that BNN-style
+# handlers (e.g. Monte Carlo dropout with a fixed mask across batches, as
+# discussed in the paper's future-work section) can intercept it.
+_DROPOUT_HANDLERS: List[object] = []
+
+
+def register_dropout_handler(handler: object) -> None:
+    """Push an effect handler intercepting dropout operations."""
+    _DROPOUT_HANDLERS.append(handler)
+
+
+def unregister_dropout_handler(handler: object) -> None:
+    """Remove a previously registered dropout handler."""
+    _DROPOUT_HANDLERS.remove(handler)
+
+
+def _dropout_default(x: Tensor, p: float, training: bool,
+                     rng: Optional[np.random.Generator] = None) -> Tensor:
+    if not training or p == 0.0:
+        return x
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    for handler in reversed(_DROPOUT_HANDLERS):
+        result = handler.process_dropout(x, p, training, _dropout_default)
+        if result is not None:
+            return result
+    return _dropout_default(x, p, training, rng)
+
+
+# --------------------------------------------------------------------- losses
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros(labels.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, labels[..., None], 1.0, axis=-1)
+    return out
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64)
+    oh = one_hot(targets, log_probs.shape[-1])
+    losses = -(log_probs * Tensor(oh)).sum(axis=-1)
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    return losses
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    sq = (prediction - target_t) ** 2
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    targets_t = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y  (numerically stable)
+    losses = logits.clamp(min=0.0) - logits * targets_t + (-logits.abs()).exp().log1p()
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    return losses

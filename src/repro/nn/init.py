@@ -1,0 +1,110 @@
+"""Weight-initialization schemes mirroring ``torch.nn.init``.
+
+These are also reused by :class:`repro.core.priors.LayerwiseNormalPrior` and
+the guide initializers, which set prior/posterior scales according to the
+"radford", "xavier" or "kaiming" conventions (Neal 1996; Glorot & Bengio
+2010; He et al. 2015), as described in the TyXe paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "calculate_fan_in_and_fan_out",
+    "fan_in_scale",
+    "normal_",
+    "uniform_",
+    "constant_",
+    "zeros_",
+    "ones_",
+    "xavier_uniform_",
+    "xavier_normal_",
+    "kaiming_uniform_",
+    "kaiming_normal_",
+    "radford_normal_",
+]
+
+
+def calculate_fan_in_and_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape.
+
+    For linear weights ``(out, in)`` this is ``(in, out)``; for conv weights
+    ``(out_c, in_c, kh, kw)`` the receptive-field size multiplies both.
+    """
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def fan_in_scale(shape: Tuple[int, ...], method: str = "radford") -> float:
+    """Standard deviation implied by the given initialization convention."""
+    fan_in, fan_out = calculate_fan_in_and_fan_out(shape)
+    if method == "radford":
+        return 1.0 / np.sqrt(fan_in)
+    if method == "xavier":
+        return np.sqrt(2.0 / (fan_in + fan_out))
+    if method == "kaiming":
+        return np.sqrt(2.0 / fan_in)
+    raise ValueError(f"unknown initialization method: {method!r}")
+
+
+def _rng(rng):
+    return rng if rng is not None else np.random.default_rng()
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0, rng=None) -> Tensor:
+    tensor.data[...] = _rng(rng).normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0, rng=None) -> Tensor:
+    tensor.data[...] = _rng(rng).uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    tensor.data[...] = value
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    return constant_(tensor, 0.0)
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    return constant_(tensor, 1.0)
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0, rng=None) -> Tensor:
+    fan_in, fan_out = calculate_fan_in_and_fan_out(tensor.shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound, rng=rng)
+
+
+def xavier_normal_(tensor: Tensor, gain: float = 1.0, rng=None) -> Tensor:
+    std = gain * fan_in_scale(tensor.shape, "xavier")
+    return normal_(tensor, 0.0, std, rng=rng)
+
+
+def kaiming_uniform_(tensor: Tensor, rng=None) -> Tensor:
+    fan_in, _ = calculate_fan_in_and_fan_out(tensor.shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform_(tensor, -bound, bound, rng=rng)
+
+
+def kaiming_normal_(tensor: Tensor, rng=None) -> Tensor:
+    return normal_(tensor, 0.0, fan_in_scale(tensor.shape, "kaiming"), rng=rng)
+
+
+def radford_normal_(tensor: Tensor, rng=None) -> Tensor:
+    return normal_(tensor, 0.0, fan_in_scale(tensor.shape, "radford"), rng=rng)

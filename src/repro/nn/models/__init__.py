@@ -1,0 +1,21 @@
+"""Model zoo: the substitute for ``torchvision.models`` and the paper's
+experiment-specific architectures."""
+
+from .convnet import ConvBlock, small_convnet, vcl_cifar_net
+from .mlp import make_mlp, regression_net, vcl_mnist_net
+from .resnet import BasicBlock, ResNet, make_resnet, resnet8, resnet14, resnet20
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "make_resnet",
+    "resnet8",
+    "resnet14",
+    "resnet20",
+    "make_mlp",
+    "regression_net",
+    "vcl_mnist_net",
+    "ConvBlock",
+    "vcl_cifar_net",
+    "small_convnet",
+]

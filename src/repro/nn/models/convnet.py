@@ -1,0 +1,57 @@
+"""Small convolutional networks (the VCL Split-CIFAR architecture)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..modules import (Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential)
+from ..tensor import Tensor
+
+__all__ = ["ConvBlock", "vcl_cifar_net", "small_convnet"]
+
+
+class ConvBlock(Module):
+    """``Conv-ReLU-Conv-ReLU-MaxPool`` block as described in paper A.4."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=1, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, rng=rng)
+        self.relu2 = ReLU()
+        self.pool = MaxPool2d(2, 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.relu2(self.conv2(self.relu1(self.conv1(x)))))
+
+
+def vcl_cifar_net(in_channels: int = 3, image_size: int = 8, channels: tuple = (8, 16),
+                  hidden: int = 64, num_classes: int = 10,
+                  rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Two conv blocks followed by a fully-connected layer (paper A.4, scaled)."""
+    final_size = image_size // 4
+    flat = channels[1] * final_size * final_size
+    return Sequential(
+        ConvBlock(in_channels, channels[0], rng=rng),
+        ConvBlock(channels[0], channels[1], rng=rng),
+        Flatten(),
+        Linear(flat, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, num_classes, rng=rng),
+    )
+
+
+def small_convnet(in_channels: int = 1, image_size: int = 8, num_classes: int = 10,
+                  width: int = 8, rng: Optional[np.random.Generator] = None) -> Sequential:
+    """A LeNet-style conv net for quick classification tests."""
+    final_size = image_size // 2
+    return Sequential(
+        Conv2d(in_channels, width, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2, 2),
+        Flatten(),
+        Linear(width * final_size * final_size, num_classes, rng=rng),
+    )

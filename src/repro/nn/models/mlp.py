@@ -1,0 +1,40 @@
+"""Multi-layer perceptrons used throughout the experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..modules import Linear, Module, ReLU, Sequential, Tanh
+
+__all__ = ["make_mlp", "regression_net", "vcl_mnist_net"]
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh}
+
+
+def make_mlp(in_features: int, hidden: Sequence[int], out_features: int,
+             activation: str = "relu", rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build ``Linear -> act -> ... -> Linear`` with the given hidden widths."""
+    if activation not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}; options: {sorted(_ACTIVATIONS)}")
+    act = _ACTIVATIONS[activation]
+    layers = []
+    prev = in_features
+    for width in hidden:
+        layers.append(Linear(prev, width, rng=rng))
+        layers.append(act())
+        prev = width
+    layers.append(Linear(prev, out_features, rng=rng))
+    return Sequential(*layers)
+
+
+def regression_net(hidden: int = 50, rng: Optional[np.random.Generator] = None) -> Sequential:
+    """The 1-50-1 tanh network from the paper's regression example (Listing 1)."""
+    return make_mlp(1, [hidden], 1, activation="tanh", rng=rng)
+
+
+def vcl_mnist_net(in_features: int = 64, hidden: int = 200, num_classes: int = 10,
+                  rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Fully-connected net with one 200-unit ReLU hidden layer (paper A.4)."""
+    return make_mlp(in_features, [hidden], num_classes, activation="relu", rng=rng)

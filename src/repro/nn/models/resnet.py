@@ -1,0 +1,114 @@
+"""Residual networks (He et al., 2016) scaled for small synthetic images.
+
+This is the substitute for ``torchvision.models.resnet18`` used in the
+paper's large-scale vision experiment (Table 1 / Fig. 2).  The architecture
+is faithful — BasicBlocks with two 3x3 convolutions, BatchNorm, identity or
+1x1-projection shortcuts, global average pooling and a final fully-connected
+classifier — but the stage widths and depths are configurable so the
+experiments run in seconds on a CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import functional as F
+from ..modules import (AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear,
+                       Module, ReLU, Sequential)
+from ..tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNet", "resnet8", "resnet14", "resnet20", "make_resnet"]
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.downsample is not None:
+            identity = self.downsample(x)
+        return self.relu(out + identity)
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet: a stem conv followed by three residual stages."""
+
+    def __init__(self, block_counts: Sequence[int], num_classes: int = 10,
+                 in_channels: int = 3, base_width: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        widths = [base_width, base_width * 2, base_width * 4]
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+        in_w = widths[0]
+        layers = []
+        for stage, (width, count) in enumerate(zip(widths, block_counts)):
+            blocks = []
+            for i in range(count):
+                stride = 2 if (stage > 0 and i == 0) else 1
+                blocks.append(BasicBlock(in_w, width, stride=stride, rng=rng))
+                in_w = width
+            layers.append(Sequential(*blocks))
+        self.layer1, self.layer2, self.layer3 = layers
+        self.avgpool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        self.fc = Linear(in_w, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.avgpool(out)
+        out = self.flatten(out)
+        return self.fc(out)
+
+
+def make_resnet(depth: int, num_classes: int = 10, in_channels: int = 3,
+                base_width: int = 8, rng: Optional[np.random.Generator] = None) -> ResNet:
+    """Build a CIFAR-style ResNet of the given depth (6n + 2)."""
+    if (depth - 2) % 6 != 0:
+        raise ValueError(f"depth must be 6n + 2, got {depth}")
+    n = (depth - 2) // 6
+    return ResNet([n, n, n], num_classes=num_classes, in_channels=in_channels,
+                  base_width=base_width, rng=rng)
+
+
+def resnet8(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+            rng: Optional[np.random.Generator] = None) -> ResNet:
+    """The default small ResNet used by the image-classification experiments."""
+    return make_resnet(8, num_classes, in_channels, base_width, rng)
+
+
+def resnet14(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    return make_resnet(14, num_classes, in_channels, base_width, rng)
+
+
+def resnet20(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    return make_resnet(20, num_classes, in_channels, base_width, rng)

@@ -1,0 +1,35 @@
+"""``repro.ppl`` — a miniature probabilistic programming layer (Pyro substitute).
+
+Provides distributions with reparameterized sampling, an effect-handler
+(``poutine``) runtime, ``sample``/``param``/``plate`` primitives backed by a
+global parameter store, stochastic variational inference with automatic
+guides, and HMC/NUTS MCMC.
+"""
+
+from . import constraints
+from . import distributions
+from . import infer
+from . import optim
+from . import poutine
+from .params import ParamStore, clear_param_store, get_param_store
+from .primitives import deterministic, factor, param, plate, sample
+from .rng import fork_rng, get_rng, set_rng_seed
+
+__all__ = [
+    "constraints",
+    "distributions",
+    "infer",
+    "optim",
+    "poutine",
+    "ParamStore",
+    "get_param_store",
+    "clear_param_store",
+    "sample",
+    "param",
+    "plate",
+    "deterministic",
+    "factor",
+    "get_rng",
+    "set_rng_seed",
+    "fork_rng",
+]

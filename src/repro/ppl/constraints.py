@@ -1,0 +1,122 @@
+"""Parameter constraints and the bijective transforms that enforce them.
+
+``repro.ppl.param`` stores *unconstrained* values in the parameter store and
+applies the transform associated with a constraint on read, so gradient-based
+optimization always operates on an unconstrained space (exactly like Pyro's
+``constraint=`` argument to ``pyro.param``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "Constraint",
+    "Real",
+    "Positive",
+    "Interval",
+    "real",
+    "positive",
+    "interval",
+    "transform_to",
+]
+
+
+class Constraint:
+    """A constraint describes the support of a parameter.
+
+    ``transform`` maps unconstrained -> constrained (differentiably, on
+    Tensors); ``inv_transform`` maps a constrained initial value back to the
+    unconstrained space (NumPy only, used once at initialization);
+    ``check`` tests membership.
+    """
+
+    def transform(self, unconstrained: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def inv_transform(self, constrained: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def check(self, value: np.ndarray) -> bool:
+        raise NotImplementedError
+
+
+class Real(Constraint):
+    """Unconstrained real numbers (identity transform)."""
+
+    def transform(self, unconstrained: Tensor) -> Tensor:
+        return unconstrained
+
+    def inv_transform(self, constrained: np.ndarray) -> np.ndarray:
+        return np.asarray(constrained, dtype=np.float64)
+
+    def check(self, value: np.ndarray) -> bool:
+        return bool(np.all(np.isfinite(value)))
+
+    def __repr__(self) -> str:
+        return "Real()"
+
+
+class Positive(Constraint):
+    """Strictly positive numbers via a softplus bijection."""
+
+    def transform(self, unconstrained: Tensor) -> Tensor:
+        return unconstrained.softplus()
+
+    def inv_transform(self, constrained: np.ndarray) -> np.ndarray:
+        c = np.asarray(constrained, dtype=np.float64)
+        if np.any(c <= 0):
+            raise ValueError("initial value for a positive-constrained parameter must be > 0")
+        # inverse softplus: log(exp(x) - 1), stable for large x
+        return np.where(c > 20, c, np.log(np.expm1(np.clip(c, 1e-12, None))))
+
+    def check(self, value: np.ndarray) -> bool:
+        return bool(np.all(np.asarray(value) > 0))
+
+    def __repr__(self) -> str:
+        return "Positive()"
+
+
+class Interval(Constraint):
+    """Values in an open interval ``(low, high)`` via a scaled sigmoid."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ValueError(f"need high > low, got ({low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def transform(self, unconstrained: Tensor) -> Tensor:
+        # clamp away from the boundaries so downstream code (e.g. a Normal
+        # scale parameter) never sees an exactly-zero or exactly-high value
+        proportion = unconstrained.sigmoid().clamp(1e-6, 1.0 - 1e-6)
+        return proportion * (self.high - self.low) + self.low
+
+    def inv_transform(self, constrained: np.ndarray) -> np.ndarray:
+        c = np.asarray(constrained, dtype=np.float64)
+        p = np.clip((c - self.low) / (self.high - self.low), 1e-7, 1 - 1e-7)
+        return np.log(p) - np.log1p(-p)
+
+    def check(self, value: np.ndarray) -> bool:
+        v = np.asarray(value)
+        return bool(np.all((v > self.low) & (v < self.high)))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.low}, {self.high})"
+
+
+real = Real()
+positive = Positive()
+
+
+def interval(low: float, high: float) -> Interval:
+    return Interval(low, high)
+
+
+def transform_to(constraint: Union[Constraint, None]) -> Constraint:
+    """Return the transform-bearing constraint object (defaulting to real)."""
+    return constraint if constraint is not None else real

@@ -1,0 +1,30 @@
+"""Inference algorithms: SVI with autoguides, and MCMC (HMC/NUTS)."""
+
+from . import autoguide
+from .autoguide import (AutoDelta, AutoGuide, AutoLowRankMultivariateNormal,
+                        AutoNormal, init_to_mean, init_to_median, init_to_sample,
+                        init_to_value)
+from .mcmc import HMC, MCMC, NUTS
+from .sgld import SGLD, SGLDSampler
+from .svi import ELBO, SVI, TraceMeanField_ELBO, Trace_ELBO
+
+__all__ = [
+    "autoguide",
+    "AutoGuide",
+    "AutoNormal",
+    "AutoDelta",
+    "AutoLowRankMultivariateNormal",
+    "init_to_median",
+    "init_to_mean",
+    "init_to_sample",
+    "init_to_value",
+    "SVI",
+    "ELBO",
+    "Trace_ELBO",
+    "TraceMeanField_ELBO",
+    "HMC",
+    "NUTS",
+    "MCMC",
+    "SGLD",
+    "SGLDSampler",
+]

@@ -1,0 +1,278 @@
+"""Markov chain Monte Carlo: HMC and NUTS kernels plus the MCMC driver.
+
+The kernels operate on the flattened vector of all continuous latent sample
+sites of a model.  The potential energy is the negative (scaled) log-joint of
+the model conditioned on the latent values, differentiated with the autograd
+engine.  This mirrors ``pyro.infer.mcmc.{HMC, NUTS, MCMC}`` closely enough
+that ``tyxe.MCMC_BNN`` can accept either kernel as its "guide" argument, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from ..poutine import condition, trace
+from ..rng import get_rng
+
+__all__ = ["HMC", "NUTS", "MCMC"]
+
+
+class _LatentLayout:
+    """Bookkeeping for flattening a dict of latent sites into one vector."""
+
+    def __init__(self, site_shapes: "OrderedDict[str, Tuple[int, ...]]") -> None:
+        self.site_shapes = site_shapes
+        self.slices: "OrderedDict[str, slice]" = OrderedDict()
+        offset = 0
+        for name, shape in site_shapes.items():
+            size = int(np.prod(shape)) if shape else 1
+            self.slices[name] = slice(offset, offset + size)
+            offset += size
+        self.total_dim = offset
+
+    def unflatten(self, z: np.ndarray) -> Dict[str, np.ndarray]:
+        return {name: z[sl].reshape(shape)
+                for (name, shape), sl in zip(self.site_shapes.items(), self.slices.values())}
+
+    def flatten(self, values: Dict[str, np.ndarray]) -> np.ndarray:
+        z = np.zeros(self.total_dim)
+        for name, sl in self.slices.items():
+            z[sl] = np.asarray(values[name]).reshape(-1)
+        return z
+
+
+class _Kernel:
+    """Shared machinery: potential energy, gradients, leapfrog integration."""
+
+    def __init__(self, model: Callable, step_size: float = 0.1,
+                 adapt_step_size: bool = True, target_accept_prob: float = 0.8) -> None:
+        self.model = model
+        self.step_size = step_size
+        self.adapt_step_size = adapt_step_size
+        self.target_accept_prob = target_accept_prob
+        self.layout: Optional[_LatentLayout] = None
+        self._args: Tuple = ()
+        self._kwargs: Dict = {}
+        # dual-averaging state
+        self._mu = math.log(10.0 * step_size)
+        self._log_eps_bar = 0.0
+        self._h_bar = 0.0
+        self._adapt_t = 0
+
+    # ------------------------------------------------------------------ setup
+    def setup(self, *args, **kwargs) -> np.ndarray:
+        self._args, self._kwargs = args, kwargs
+        prototype = trace(self.model).get_trace(*args, **kwargs)
+        site_shapes: "OrderedDict[str, Tuple[int, ...]]" = OrderedDict()
+        init_values: Dict[str, np.ndarray] = {}
+        for name, site in prototype.nodes.items():
+            if site.get("type") == "sample" and not site.get("is_observed"):
+                value = site["value"]
+                site_shapes[name] = value.shape
+                init_values[name] = np.array(value.data, copy=True)
+        if not site_shapes:
+            raise ValueError("model has no latent sample sites for MCMC")
+        self.layout = _LatentLayout(site_shapes)
+        self._mu = math.log(10.0 * self.step_size)
+        return self.layout.flatten(init_values)
+
+    # ------------------------------------------------- potential and gradient
+    def potential_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        values = {name: Tensor(arr, requires_grad=True)
+                  for name, arr in self.layout.unflatten(z).items()}
+        conditioned = condition(self.model, data=values)
+        tr = trace(conditioned).get_trace(*self._args, **self._kwargs)
+        log_joint = tr.log_prob_sum()
+        potential = -log_joint
+        potential.backward()
+        grad = np.concatenate([
+            (values[name].grad if values[name].grad is not None else np.zeros(values[name].shape)).reshape(-1)
+            for name in self.layout.site_shapes
+        ])
+        return float(potential.item()), grad
+
+    def potential(self, z: np.ndarray) -> float:
+        return self.potential_and_grad(z)[0]
+
+    # --------------------------------------------------------------- leapfrog
+    def leapfrog(self, z: np.ndarray, r: np.ndarray, grad: np.ndarray,
+                 step_size: float) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+        r = r - 0.5 * step_size * grad
+        z = z + step_size * r
+        potential, grad = self.potential_and_grad(z)
+        r = r - 0.5 * step_size * grad
+        return z, r, potential, grad
+
+    @staticmethod
+    def kinetic(r: np.ndarray) -> float:
+        return 0.5 * float(np.dot(r, r))
+
+    # --------------------------------------------------------- step-size adapt
+    def adapt(self, accept_prob: float, gamma: float = 0.05, t0: float = 10.0, kappa: float = 0.75) -> None:
+        """Nesterov dual averaging towards the target acceptance probability."""
+        if not self.adapt_step_size:
+            return
+        self._adapt_t += 1
+        t = self._adapt_t
+        self._h_bar = (1 - 1 / (t + t0)) * self._h_bar + (self.target_accept_prob - accept_prob) / (t + t0)
+        log_eps = self._mu - math.sqrt(t) / gamma * self._h_bar
+        eta = t ** (-kappa)
+        self._log_eps_bar = eta * log_eps + (1 - eta) * self._log_eps_bar
+        self.step_size = math.exp(log_eps)
+
+    def finalize_adaptation(self) -> None:
+        if self.adapt_step_size and self._adapt_t > 0:
+            self.step_size = math.exp(self._log_eps_bar)
+
+    def sample(self, z: np.ndarray, adapt: bool) -> Tuple[np.ndarray, Dict[str, float]]:
+        raise NotImplementedError
+
+
+class HMC(_Kernel):
+    """Hamiltonian Monte Carlo with a fixed number of leapfrog steps."""
+
+    def __init__(self, model: Callable, step_size: float = 0.1, num_steps: int = 10,
+                 adapt_step_size: bool = True, target_accept_prob: float = 0.8) -> None:
+        super().__init__(model, step_size, adapt_step_size, target_accept_prob)
+        self.num_steps = num_steps
+
+    def sample(self, z: np.ndarray, adapt: bool) -> Tuple[np.ndarray, Dict[str, float]]:
+        rng = get_rng()
+        potential0, grad = self.potential_and_grad(z)
+        r0 = rng.standard_normal(z.shape)
+        h0 = potential0 + self.kinetic(r0)
+        z_new, r_new = z.copy(), r0.copy()
+        potential_new = potential0
+        for _ in range(self.num_steps):
+            z_new, r_new, potential_new, grad = self.leapfrog(z_new, r_new, grad, self.step_size)
+        h_new = potential_new + self.kinetic(r_new)
+        log_accept = h0 - h_new
+        accept_prob = min(1.0, math.exp(min(log_accept, 0.0)))
+        accepted = math.log(max(rng.random(), 1e-300)) < log_accept
+        if adapt:
+            self.adapt(accept_prob)
+        stats = {"accept_prob": accept_prob, "step_size": self.step_size,
+                 "potential": potential_new if accepted else potential0}
+        return (z_new if accepted else z), stats
+
+
+class NUTS(_Kernel):
+    """No-U-Turn Sampler (Hoffman & Gelman, 2014), recursive binary-tree variant."""
+
+    def __init__(self, model: Callable, step_size: float = 0.1, max_tree_depth: int = 6,
+                 adapt_step_size: bool = True, target_accept_prob: float = 0.8) -> None:
+        super().__init__(model, step_size, adapt_step_size, target_accept_prob)
+        self.max_tree_depth = max_tree_depth
+        self._delta_max = 1000.0
+
+    def _build_tree(self, z, r, grad, log_u, direction, depth, h0, rng):
+        if depth == 0:
+            step = direction * self.step_size
+            z1, r1, potential1, grad1 = self.leapfrog(z, r, grad, step)
+            h1 = potential1 + self.kinetic(r1)
+            n1 = 1 if log_u <= -h1 else 0
+            s1 = 1 if log_u < self._delta_max - h1 else 0
+            accept_prob = min(1.0, math.exp(min(h0 - h1, 0.0)))
+            return z1, r1, grad1, z1, r1, grad1, z1, n1, s1, accept_prob, 1
+        # recursion: build left and right subtrees
+        (z_minus, r_minus, grad_minus, z_plus, r_plus, grad_plus, z_prop, n1, s1,
+         alpha, n_alpha) = self._build_tree(z, r, grad, log_u, direction, depth - 1, h0, rng)
+        if s1 == 1:
+            if direction == -1:
+                (z_minus, r_minus, grad_minus, _, _, _, z_prop2, n2, s2,
+                 alpha2, n_alpha2) = self._build_tree(z_minus, r_minus, grad_minus, log_u,
+                                                      direction, depth - 1, h0, rng)
+            else:
+                (_, _, _, z_plus, r_plus, grad_plus, z_prop2, n2, s2,
+                 alpha2, n_alpha2) = self._build_tree(z_plus, r_plus, grad_plus, log_u,
+                                                      direction, depth - 1, h0, rng)
+            if n1 + n2 > 0 and rng.random() < n2 / max(n1 + n2, 1):
+                z_prop = z_prop2
+            alpha += alpha2
+            n_alpha += n_alpha2
+            delta = z_plus - z_minus
+            s1 = s2 * int(np.dot(delta, r_minus) >= 0) * int(np.dot(delta, r_plus) >= 0)
+            n1 += n2
+        return z_minus, r_minus, grad_minus, z_plus, r_plus, grad_plus, z_prop, n1, s1, alpha, n_alpha
+
+    def sample(self, z: np.ndarray, adapt: bool) -> Tuple[np.ndarray, Dict[str, float]]:
+        rng = get_rng()
+        potential0, grad0 = self.potential_and_grad(z)
+        r0 = rng.standard_normal(z.shape)
+        h0 = potential0 + self.kinetic(r0)
+        log_u = math.log(max(rng.random(), 1e-300)) - h0
+        z_minus = z_plus = z_prop = z.copy()
+        r_minus = r_plus = r0.copy()
+        grad_minus = grad_plus = grad0.copy()
+        n, s, depth = 1, 1, 0
+        alpha_sum, n_alpha_sum = 0.0, 0
+        while s == 1 and depth < self.max_tree_depth:
+            direction = 1 if rng.random() < 0.5 else -1
+            if direction == -1:
+                (z_minus, r_minus, grad_minus, _, _, _, z_prop1, n1, s1,
+                 alpha, n_alpha) = self._build_tree(z_minus, r_minus, grad_minus, log_u,
+                                                    direction, depth, h0, rng)
+            else:
+                (_, _, _, z_plus, r_plus, grad_plus, z_prop1, n1, s1,
+                 alpha, n_alpha) = self._build_tree(z_plus, r_plus, grad_plus, log_u,
+                                                    direction, depth, h0, rng)
+            if s1 == 1 and rng.random() < min(1.0, n1 / max(n, 1)):
+                z_prop = z_prop1
+            n += n1
+            alpha_sum += alpha
+            n_alpha_sum += n_alpha
+            delta = z_plus - z_minus
+            s = s1 * int(np.dot(delta, r_minus) >= 0) * int(np.dot(delta, r_plus) >= 0)
+            depth += 1
+        accept_prob = alpha_sum / max(n_alpha_sum, 1)
+        if adapt:
+            self.adapt(accept_prob)
+        stats = {"accept_prob": accept_prob, "step_size": self.step_size, "tree_depth": depth}
+        return z_prop, stats
+
+
+class MCMC:
+    """MCMC driver: warmup with adaptation, then sampling (``pyro.infer.MCMC``)."""
+
+    def __init__(self, kernel: _Kernel, num_samples: int, warmup_steps: int = 100,
+                 disable_progbar: bool = True) -> None:
+        self.kernel = kernel
+        self.num_samples = num_samples
+        self.warmup_steps = warmup_steps
+        self.disable_progbar = disable_progbar
+        self._samples: Dict[str, np.ndarray] = {}
+        self.diagnostics: List[Dict[str, float]] = []
+
+    def run(self, *args, **kwargs) -> None:
+        z = self.kernel.setup(*args, **kwargs)
+        for _ in range(self.warmup_steps):
+            z, _ = self.kernel.sample(z, adapt=True)
+        self.kernel.finalize_adaptation()
+        collected: List[np.ndarray] = []
+        for _ in range(self.num_samples):
+            z, stats = self.kernel.sample(z, adapt=False)
+            collected.append(z.copy())
+            self.diagnostics.append(stats)
+        stacked = np.stack(collected)
+        layout = self.kernel.layout
+        self._samples = {
+            name: stacked[:, sl].reshape((self.num_samples,) + shape)
+            for (name, shape), sl in zip(layout.site_shapes.items(), layout.slices.values())
+        }
+
+    def get_samples(self) -> Dict[str, np.ndarray]:
+        """Posterior samples per latent site, stacked along a leading axis."""
+        if not self._samples:
+            raise RuntimeError("call run() before get_samples()")
+        return self._samples
+
+    def summary(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Posterior mean and standard deviation of every latent site."""
+        return {name: {"mean": values.mean(axis=0), "std": values.std(axis=0)}
+                for name, values in self.get_samples().items()}

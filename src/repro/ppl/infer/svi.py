@@ -1,0 +1,135 @@
+"""Stochastic variational inference: ELBO estimators and the SVI driver.
+
+``Trace_ELBO`` estimates the evidence lower bound with reparameterized Monte
+Carlo samples of the guide; ``TraceMeanField_ELBO`` replaces the latent-site
+entropy/cross-entropy terms with analytic KL divergences where available
+(this is what gives TyXe closed-form KLs for its factorized-Gaussian guide).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from ..distributions import kl_divergence
+from ..params import get_param_store
+from ..poutine import replay, trace
+from ..poutine.trace import Trace
+
+__all__ = ["ELBO", "Trace_ELBO", "TraceMeanField_ELBO", "SVI"]
+
+
+class ELBO:
+    """Base class for evidence-lower-bound estimators."""
+
+    def __init__(self, num_particles: int = 1) -> None:
+        if num_particles < 1:
+            raise ValueError("num_particles must be >= 1")
+        self.num_particles = num_particles
+
+    def _get_traces(self, model: Callable, guide: Callable, *args, **kwargs):
+        guide_trace = trace(guide).get_trace(*args, **kwargs)
+        model_trace = trace(replay(model, trace=guide_trace)).get_trace(*args, **kwargs)
+        return model_trace, guide_trace
+
+    def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def loss(self, model: Callable, guide: Callable, *args, **kwargs) -> float:
+        return float(self.differentiable_loss(model, guide, *args, **kwargs).item())
+
+
+class Trace_ELBO(ELBO):
+    """Monte Carlo ELBO: ``E_q[log p(x, z) - log q(z)]`` with reparameterized samples."""
+
+    def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
+        total: Optional[Tensor] = None
+        for _ in range(self.num_particles):
+            model_trace, guide_trace = self._get_traces(model, guide, *args, **kwargs)
+            elbo = model_trace.log_prob_sum() - guide_trace.log_prob_sum()
+            total = elbo if total is None else total + elbo
+        return -total / float(self.num_particles)
+
+
+class TraceMeanField_ELBO(ELBO):
+    """ELBO using analytic KL terms for latent sites where they are available.
+
+    ``ELBO = E_q[log p(x | z)] - sum_sites KL(q(z_site) || p(z_site))``
+    Falls back to the Monte Carlo estimate (log p - log q at the sample) for
+    sites without a registered analytic KL.
+    """
+
+    def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
+        total: Optional[Tensor] = None
+        for _ in range(self.num_particles):
+            model_trace, guide_trace = self._get_traces(model, guide, *args, **kwargs)
+            particle = self._particle_elbo(model_trace, guide_trace)
+            total = particle if total is None else total + particle
+        return -total / float(self.num_particles)
+
+    def _particle_elbo(self, model_trace: Trace, guide_trace: Trace) -> Tensor:
+        model_trace.compute_log_prob()
+        guide_trace.compute_log_prob()
+        elbo: Optional[Tensor] = None
+
+        def _add(term: Tensor):
+            nonlocal elbo
+            elbo = term if elbo is None else elbo + term
+
+        # observed sites: expected log likelihood
+        for name in model_trace.observation_nodes():
+            _add(model_trace[name]["log_prob_sum"])
+        # latent sites: -KL(q || p), analytic where possible
+        for name in model_trace.stochastic_nodes():
+            model_site = model_trace[name]
+            if name not in guide_trace:
+                # latent with no guide site (e.g. sampled from the prior)
+                _add(model_site["log_prob_sum"])
+                continue
+            guide_site = guide_trace[name]
+            if guide_site.get("infer", {}).get("is_auxiliary"):
+                continue
+            scale = model_site.get("scale", 1.0)
+            try:
+                kl = kl_divergence(guide_site["fn"], model_site["fn"]).sum()
+                _add(-kl * scale if scale != 1.0 else -kl)
+            except NotImplementedError:
+                _add(model_site["log_prob_sum"] - guide_site["log_prob_sum"])
+        # auxiliary guide sites (e.g. the joint latent of a low-rank guide)
+        for name in guide_trace.stochastic_nodes():
+            guide_site = guide_trace[name]
+            if name not in model_trace and not guide_site.get("infer", {}).get("is_auxiliary"):
+                _add(-guide_site["log_prob_sum"])
+            elif guide_site.get("infer", {}).get("is_auxiliary"):
+                _add(-guide_site["log_prob_sum"])
+        return elbo if elbo is not None else Tensor(0.0)
+
+
+class SVI:
+    """Stochastic variational inference driver (``pyro.infer.SVI`` equivalent)."""
+
+    def __init__(self, model: Callable, guide: Callable, optim, loss: Optional[ELBO] = None) -> None:
+        self.model = model
+        self.guide = guide
+        self.optim = optim
+        self.loss = loss if loss is not None else Trace_ELBO()
+
+    def step(self, *args, **kwargs) -> float:
+        """One gradient step on the negative ELBO; returns the loss value."""
+        store = get_param_store()
+        loss = self.loss.differentiable_loss(self.model, self.guide, *args, **kwargs)
+        for p in store.values():
+            p.grad = None
+        loss.backward()
+        params_with_grad = [p for _, p in store.named_parameters() if p.grad is not None]
+        if params_with_grad:
+            self.optim(params_with_grad)
+        for p in store.values():
+            p.grad = None
+        return float(loss.item())
+
+    def evaluate_loss(self, *args, **kwargs) -> float:
+        """Compute the loss without taking a gradient step."""
+        return self.loss.loss(self.model, self.guide, *args, **kwargs)

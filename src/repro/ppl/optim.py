@@ -1,0 +1,91 @@
+"""Pyro-style optimizer wrappers.
+
+Pyro optimizers are constructed from a dict of hyper-parameters
+(``pyro.optim.Adam({"lr": 1e-3})``) and are handed *parameters to update* at
+each SVI step rather than at construction time, because guide parameters are
+created lazily.  These wrappers provide the same behaviour on top of
+:mod:`repro.nn.optim`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Type
+
+from ..nn import optim as nn_optim
+from ..nn.tensor import Tensor
+
+__all__ = ["PyroOptim", "Adam", "SGD", "ExponentialLR"]
+
+
+class PyroOptim:
+    """Wraps a :class:`repro.nn.optim.Optimizer` class for lazily-created params."""
+
+    def __init__(self, optim_constructor: Type[nn_optim.Optimizer], optim_args: Dict) -> None:
+        self.optim_constructor = optim_constructor
+        self.optim_args = dict(optim_args)
+        self._optimizer: Optional[nn_optim.Optimizer] = None
+        self._known_params: set = set()
+
+    def _ensure_params(self, params: Iterable[Tensor]) -> List[Tensor]:
+        params = list(params)
+        new = [p for p in params if id(p) not in self._known_params]
+        if new:
+            if self._optimizer is None:
+                self._optimizer = self.optim_constructor(new, **self.optim_args)
+            else:
+                self._optimizer.add_param_group({"params": new})
+            self._known_params.update(id(p) for p in new)
+        return params
+
+    def __call__(self, params: Iterable[Tensor]) -> None:
+        """Take one optimization step over ``params`` (creating state lazily)."""
+        self._ensure_params(params)
+        if self._optimizer is not None:
+            self._optimizer.step()
+
+    def set_lr(self, lr: float) -> None:
+        self.optim_args["lr"] = lr
+        if self._optimizer is not None:
+            self._optimizer.set_lr(lr)
+
+    def get_lr(self) -> float:
+        if self._optimizer is not None:
+            return self._optimizer.get_lr()
+        return self.optim_args.get("lr", 1e-3)
+
+
+def Adam(optim_args: Dict) -> PyroOptim:
+    """``pyro.optim.Adam``-style constructor: ``Adam({"lr": 1e-3})``."""
+    return PyroOptim(nn_optim.Adam, optim_args)
+
+
+def SGD(optim_args: Dict) -> PyroOptim:
+    """``pyro.optim.SGD``-style constructor: ``SGD({"lr": 1e-2})``."""
+    return PyroOptim(nn_optim.SGD, optim_args)
+
+
+class ExponentialLR:
+    """Scheduled optimizer: multiplies the learning rate by ``gamma`` per epoch.
+
+    Mirrors ``pyro.optim.ExponentialLR({"optimizer": ..., "optim_args": ...,
+    "gamma": ...})`` closely enough for the experiments in this repo.
+    """
+
+    def __init__(self, config: Dict) -> None:
+        optimizer = config["optimizer"]
+        optim_args = config["optim_args"]
+        self.gamma = config.get("gamma", 0.9)
+        self._wrapped = PyroOptim(optimizer, optim_args)
+        self._base_lr = optim_args.get("lr", 1e-3)
+        self._epoch = 0
+
+    def __call__(self, params: Iterable[Tensor]) -> None:
+        self._wrapped(params)
+
+    def step(self) -> None:
+        """Advance the schedule by one epoch."""
+        self._epoch += 1
+        self._wrapped.set_lr(self._base_lr * self.gamma ** self._epoch)
+
+    def get_lr(self) -> float:
+        return self._wrapped.get_lr()

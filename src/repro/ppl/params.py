@@ -1,0 +1,103 @@
+"""Global parameter store, mirroring ``pyro.get_param_store()``.
+
+Learnable parameters created with :func:`repro.ppl.param` live here rather
+than on module objects.  Values are stored *unconstrained*; the constraint's
+transform is applied on read so that optimizers always work in an
+unconstrained space.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Parameter, Tensor
+from . import constraints
+
+__all__ = ["ParamStore", "get_param_store", "clear_param_store"]
+
+
+class ParamStore:
+    """Maps site names to ``(unconstrained Parameter, Constraint)`` pairs."""
+
+    def __init__(self) -> None:
+        self._params: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._constraints: Dict[str, constraints.Constraint] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def keys(self):
+        return self._params.keys()
+
+    def setdefault(self, name: str, init_value: np.ndarray,
+                   constraint: Optional[constraints.Constraint] = None) -> Tensor:
+        """Create the parameter if missing and return its constrained value."""
+        constraint = constraints.transform_to(constraint)
+        if name not in self._params:
+            unconstrained = constraint.inv_transform(np.asarray(init_value, dtype=np.float64))
+            self._params[name] = Parameter(unconstrained)
+            self._constraints[name] = constraint
+        return self.get_param(name)
+
+    def get_param(self, name: str) -> Tensor:
+        """Return the constrained (differentiable) value of a parameter."""
+        unconstrained = self._params[name]
+        return self._constraints[name].transform(unconstrained)
+
+    def get_unconstrained(self, name: str) -> Parameter:
+        return self._params[name]
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        """Overwrite the constrained value of an existing parameter in place."""
+        constraint = self._constraints[name]
+        self._params[name].data[...] = constraint.inv_transform(np.asarray(value, dtype=np.float64))
+
+    def delete(self, name: str) -> None:
+        self._params.pop(name, None)
+        self._constraints.pop(name, None)
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        """Iterate over (name, unconstrained Parameter) pairs for optimization."""
+        yield from self._params.items()
+
+    def values(self) -> Iterator[Parameter]:
+        yield from self._params.values()
+
+    def clear(self) -> None:
+        self._params.clear()
+        self._constraints.clear()
+
+    # state handling --------------------------------------------------------
+    def get_state(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {
+            "params": {k: v.data.copy() for k, v in self._params.items()},
+            "constraints": dict(self._constraints),
+        }
+
+    def set_state(self, state: Dict) -> None:
+        self.clear()
+        self._constraints.update(state["constraints"])
+        for name, data in state["params"].items():
+            self._params[name] = Parameter(data.copy())
+
+    def __repr__(self) -> str:
+        return f"ParamStore({list(self._params)})"
+
+
+_PARAM_STORE = ParamStore()
+
+
+def get_param_store() -> ParamStore:
+    """Return the global parameter store."""
+    return _PARAM_STORE
+
+
+def clear_param_store() -> None:
+    """Remove all parameters from the global store (like ``pyro.clear_param_store``)."""
+    _PARAM_STORE.clear()

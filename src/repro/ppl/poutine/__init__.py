@@ -1,0 +1,31 @@
+"""Effect handlers (the ``poutine`` library of the Pyro substitute)."""
+
+from .handlers import (BlockMessenger, ConditionMessenger, MaskMessenger,
+                       ReplayMessenger, ScaleMessenger, SeedMessenger, block,
+                       condition, mask, replay, scale, seed)
+from .runtime import Messenger, am_i_wrapped, apply_stack, get_stack, new_message
+from .trace import Trace, TraceHandler, TraceMessenger, trace
+
+__all__ = [
+    "Messenger",
+    "apply_stack",
+    "am_i_wrapped",
+    "get_stack",
+    "new_message",
+    "Trace",
+    "TraceMessenger",
+    "TraceHandler",
+    "trace",
+    "ReplayMessenger",
+    "BlockMessenger",
+    "ConditionMessenger",
+    "MaskMessenger",
+    "ScaleMessenger",
+    "SeedMessenger",
+    "replay",
+    "block",
+    "condition",
+    "mask",
+    "scale",
+    "seed",
+]

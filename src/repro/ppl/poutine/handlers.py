@@ -1,0 +1,181 @@
+"""Standard effect handlers: replay, block, condition, mask, scale, seed.
+
+Each handler is a :class:`~repro.ppl.poutine.runtime.Messenger` usable as a
+context manager or as a higher-order function wrapping a model, e.g.
+``replay(model, trace=guide_trace)(*args)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from ..rng import set_rng_seed
+from .runtime import Message, Messenger
+from .trace import Trace
+
+__all__ = [
+    "ReplayMessenger",
+    "BlockMessenger",
+    "ConditionMessenger",
+    "MaskMessenger",
+    "ScaleMessenger",
+    "SeedMessenger",
+    "replay",
+    "block",
+    "condition",
+    "mask",
+    "scale",
+    "seed",
+]
+
+
+class _BoundMessenger(Messenger):
+    """Mixin making handlers usable both as context managers and as wrappers."""
+
+    def __new__(cls, fn: Optional[Callable] = None, *args, **kwargs):
+        instance = super().__new__(cls)
+        return instance
+
+    def __init__(self, fn: Optional[Callable] = None) -> None:
+        self.fn = fn
+
+    def __call__(self, *args, **kwargs):
+        if self.fn is None:
+            # acting as a decorator: first positional argument is the function
+            fn = args[0]
+            return super().__call__(fn)
+        with self:
+            return self.fn(*args, **kwargs)
+
+
+class ReplayMessenger(_BoundMessenger):
+    """Force sample sites to take the values recorded in ``trace``."""
+
+    def __init__(self, fn: Optional[Callable] = None, trace: Optional[Trace] = None) -> None:
+        super().__init__(fn)
+        if trace is None:
+            raise ValueError("replay requires a trace")
+        self.trace = trace
+
+    def process_message(self, msg: Message) -> None:
+        if msg["type"] != "sample" or msg["is_observed"]:
+            return
+        name = msg["name"]
+        if name in self.trace:
+            guide_site = self.trace[name]
+            if guide_site["type"] != "sample":
+                return
+            msg["value"] = guide_site["value"]
+            msg["infer"] = {**guide_site.get("infer", {}), **msg["infer"]}
+            msg["done"] = True
+
+
+class BlockMessenger(_BoundMessenger):
+    """Hide matching sites from handlers further out on the stack."""
+
+    def __init__(self, fn: Optional[Callable] = None, hide_fn: Optional[Callable[[Message], bool]] = None,
+                 hide: Optional[Iterable[str]] = None, expose: Optional[Iterable[str]] = None,
+                 hide_all: bool = True) -> None:
+        super().__init__(fn)
+        self.hide_fn = hide_fn
+        self.hide = set(hide) if hide is not None else None
+        self.expose = set(expose) if expose is not None else None
+        self.hide_all = hide_all
+
+    def _hidden(self, msg: Message) -> bool:
+        if self.hide_fn is not None:
+            return bool(self.hide_fn(msg))
+        if self.hide is not None:
+            return msg["name"] in self.hide
+        if self.expose is not None:
+            return msg["name"] not in self.expose
+        return self.hide_all
+
+    def process_message(self, msg: Message) -> None:
+        if self._hidden(msg):
+            msg["stop"] = True
+
+
+class ConditionMessenger(_BoundMessenger):
+    """Fix the value of named latent sites to observed data."""
+
+    def __init__(self, fn: Optional[Callable] = None, data: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(fn)
+        self.data = data or {}
+
+    def process_message(self, msg: Message) -> None:
+        if msg["type"] == "sample" and msg["name"] in self.data:
+            value = self.data[msg["name"]]
+            msg["value"] = value if isinstance(value, Tensor) else Tensor(np.asarray(value))
+            msg["is_observed"] = True
+            msg["done"] = True
+
+
+class MaskMessenger(_BoundMessenger):
+    """Multiply the log-density of sample sites by a boolean/float mask."""
+
+    def __init__(self, fn: Optional[Callable] = None, mask: Union[np.ndarray, bool, None] = None) -> None:
+        super().__init__(fn)
+        self.mask_value = mask
+
+    def process_message(self, msg: Message) -> None:
+        if msg["type"] != "sample":
+            return
+        new_mask = np.asarray(self.mask_value)
+        if msg["mask"] is None:
+            msg["mask"] = new_mask
+        else:
+            msg["mask"] = np.asarray(msg["mask"]) * new_mask
+
+
+class ScaleMessenger(_BoundMessenger):
+    """Rescale the log-density of sample sites (e.g. for mini-batching)."""
+
+    def __init__(self, fn: Optional[Callable] = None, scale: float = 1.0) -> None:
+        super().__init__(fn)
+        self.scale = scale
+
+    def process_message(self, msg: Message) -> None:
+        if msg["type"] == "sample":
+            msg["scale"] = msg["scale"] * self.scale
+
+
+class SeedMessenger(_BoundMessenger):
+    """Re-seed the global RNG before running the wrapped function."""
+
+    def __init__(self, fn: Optional[Callable] = None, rng_seed: int = 0) -> None:
+        super().__init__(fn)
+        self.rng_seed = rng_seed
+
+    def __enter__(self) -> "SeedMessenger":
+        set_rng_seed(self.rng_seed)
+        return super().__enter__()
+
+
+def replay(fn: Optional[Callable] = None, trace: Optional[Trace] = None) -> ReplayMessenger:
+    return ReplayMessenger(fn, trace=trace)
+
+
+def block(fn: Optional[Callable] = None, hide_fn: Optional[Callable] = None,
+          hide: Optional[Iterable[str]] = None, expose: Optional[Iterable[str]] = None,
+          hide_all: bool = True) -> BlockMessenger:
+    return BlockMessenger(fn, hide_fn=hide_fn, hide=hide, expose=expose, hide_all=hide_all)
+
+
+def condition(fn: Optional[Callable] = None, data: Optional[Dict[str, object]] = None) -> ConditionMessenger:
+    return ConditionMessenger(fn, data=data)
+
+
+def mask(fn: Optional[Callable] = None, mask: Union[np.ndarray, bool, None] = None) -> MaskMessenger:
+    return MaskMessenger(fn, mask=mask)
+
+
+def scale(fn: Optional[Callable] = None, scale: float = 1.0) -> ScaleMessenger:
+    return ScaleMessenger(fn, scale=scale)
+
+
+def seed(fn: Optional[Callable] = None, rng_seed: int = 0) -> SeedMessenger:
+    return SeedMessenger(fn, rng_seed=rng_seed)

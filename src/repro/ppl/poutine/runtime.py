@@ -1,0 +1,117 @@
+"""The effect-handler runtime: the messenger stack and message dispatch.
+
+This follows the design of Pyro's ``poutine`` (itself based on Plotkin &
+Pretnar's algebraic effect handlers): probabilistic primitives such as
+``sample`` and ``param`` construct *messages* which are threaded through a
+stack of :class:`Messenger` objects.  Handlers closer to the primitive
+(innermost) see the message first; a handler may set ``msg["stop"]`` to hide
+the site from handlers further out (this is how ``block`` works).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Message", "Messenger", "apply_stack", "am_i_wrapped", "get_stack"]
+
+Message = Dict[str, Any]
+
+_PYRO_STACK: List["Messenger"] = []
+
+
+def get_stack() -> List["Messenger"]:
+    """Return the live messenger stack (outermost handler first)."""
+    return _PYRO_STACK
+
+
+def am_i_wrapped() -> bool:
+    """True when at least one effect handler is active."""
+    return len(_PYRO_STACK) > 0
+
+
+def new_message(msg_type: str, name: Optional[str], fn: Optional[Callable],
+                value: Any = None, is_observed: bool = False, **kwargs) -> Message:
+    """Construct a fresh message dict with all bookkeeping fields present."""
+    msg: Message = {
+        "type": msg_type,
+        "name": name,
+        "fn": fn,
+        "value": value,
+        "is_observed": is_observed,
+        "scale": 1.0,
+        "mask": None,
+        "infer": kwargs.pop("infer", None) or {},
+        "args": kwargs.pop("args", ()),
+        "kwargs": kwargs.pop("kwargs", {}),
+        "stop": False,
+        "done": False,
+    }
+    msg.update(kwargs)
+    return msg
+
+
+class Messenger:
+    """Base effect handler; also usable as a context manager or decorator."""
+
+    def __enter__(self) -> "Messenger":
+        _PYRO_STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if _PYRO_STACK and _PYRO_STACK[-1] is self:
+            _PYRO_STACK.pop()
+        else:  # pragma: no cover - defensive, handlers should nest properly
+            _PYRO_STACK.remove(self)
+
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        return wrapped
+
+    def process_message(self, msg: Message) -> None:
+        """Hook run while the message travels outwards (innermost first)."""
+
+    def postprocess_message(self, msg: Message) -> None:
+        """Hook run after the site value exists (outermost first on the way back)."""
+
+
+def default_process_message(msg: Message) -> None:
+    """Fill in ``msg['value']`` by actually sampling / fetching the parameter."""
+    if msg["done"]:
+        return
+    if msg["value"] is None:
+        if msg["type"] == "sample":
+            fn = msg["fn"]
+            if getattr(fn, "has_rsample", False):
+                msg["value"] = fn.rsample(*msg["args"], **msg["kwargs"])
+            else:
+                msg["value"] = fn.sample(*msg["args"], **msg["kwargs"])
+        elif msg["type"] == "param":
+            from ..params import get_param_store
+
+            store = get_param_store()
+            init_value, constraint = msg["args"]
+            if init_value is None and msg["name"] not in store:
+                raise ValueError(f"param {msg['name']!r} has no initial value and is not in the store")
+            if msg["name"] in store:
+                msg["value"] = store.get_param(msg["name"])
+            else:
+                msg["value"] = store.setdefault(msg["name"], init_value, constraint)
+    msg["done"] = True
+
+
+def apply_stack(msg: Message) -> Message:
+    """Send ``msg`` through the active handlers and compute its value."""
+    stack = _PYRO_STACK
+    pointer = 0
+    for pointer, messenger in enumerate(reversed(stack)):
+        messenger.process_message(msg)
+        if msg["stop"]:
+            break
+    default_process_message(msg)
+    for messenger in stack[len(stack) - pointer - 1:]:
+        messenger.postprocess_message(msg)
+    return msg

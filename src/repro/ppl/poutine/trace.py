@@ -1,0 +1,144 @@
+"""Execution traces: recording every sample/param site of a model run.
+
+``trace(fn).get_trace(*args)`` runs ``fn`` under a :class:`TraceMessenger`
+and returns a :class:`Trace` — an ordered mapping from site names to message
+dicts — which the inference code (ELBOs, MCMC, Predictive-style replay) then
+inspects to compute log-joints.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from ..distributions import sum_rightmost
+from .runtime import Message, Messenger
+
+__all__ = ["Trace", "TraceMessenger", "TraceHandler", "trace"]
+
+
+class Trace:
+    """An ordered record of the sites touched during one model execution."""
+
+    def __init__(self) -> None:
+        self.nodes: "OrderedDict[str, Message]" = OrderedDict()
+
+    def add_node(self, name: str, site: Optional[Message] = None, **fields) -> None:
+        if name in self.nodes:
+            raise ValueError(f"site {name!r} appears twice in a single trace")
+        node = dict(site) if site is not None else {}
+        node.update(fields)
+        node.setdefault("name", name)
+        self.nodes[name] = node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def __getitem__(self, name: str) -> Message:
+        return self.nodes[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def stochastic_nodes(self) -> Iterator[str]:
+        """Names of non-observed sample sites."""
+        for name, site in self.nodes.items():
+            if site["type"] == "sample" and not site["is_observed"]:
+                yield name
+
+    def observation_nodes(self) -> Iterator[str]:
+        for name, site in self.nodes.items():
+            if site["type"] == "sample" and site["is_observed"]:
+                yield name
+
+    def param_nodes(self) -> Iterator[str]:
+        for name, site in self.nodes.items():
+            if site["type"] == "param":
+                yield name
+
+    def compute_log_prob(self) -> None:
+        """Attach ``log_prob`` / ``log_prob_sum`` (scaled, masked) to sample sites."""
+        for site in self.nodes.values():
+            if site["type"] != "sample":
+                continue
+            if "log_prob_sum" in site:
+                continue
+            log_prob = site["fn"].log_prob(site["value"])
+            if site.get("mask") is not None:
+                mask = site["mask"]
+                mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+                log_prob = log_prob * Tensor(mask_arr.astype(np.float64))
+            site["log_prob"] = log_prob
+            log_prob_sum = log_prob.sum()
+            scale = site.get("scale", 1.0)
+            if scale != 1.0:
+                log_prob_sum = log_prob_sum * scale
+            site["log_prob_sum"] = log_prob_sum
+
+    def log_prob_sum(self) -> Tensor:
+        """Total (scaled) log-density of all sample sites in the trace."""
+        self.compute_log_prob()
+        total: Optional[Tensor] = None
+        for site in self.nodes.values():
+            if site["type"] != "sample":
+                continue
+            total = site["log_prob_sum"] if total is None else total + site["log_prob_sum"]
+        return total if total is not None else Tensor(0.0)
+
+    def copy(self) -> "Trace":
+        new = Trace()
+        for name, site in self.nodes.items():
+            new.nodes[name] = dict(site)
+        return new
+
+    def detach_values(self) -> "Trace":
+        """Return a copy whose sample values are detached from the autograd graph."""
+        new = self.copy()
+        for site in new.nodes.values():
+            if isinstance(site.get("value"), Tensor):
+                site["value"] = site["value"].detach()
+        return new
+
+
+class TraceMessenger(Messenger):
+    """Record every message passing through into a :class:`Trace`."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def __enter__(self) -> "TraceMessenger":
+        self.trace = Trace()
+        return super().__enter__()
+
+    def postprocess_message(self, msg: Message) -> None:
+        site = {k: v for k, v in msg.items() if k not in ("stop", "done")}
+        self.trace.add_node(msg["name"], site)
+
+
+class TraceHandler:
+    """Callable wrapper produced by :func:`trace`."""
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+        self.msngr = TraceMessenger()
+
+    def __call__(self, *args, **kwargs):
+        with self.msngr:
+            ret = self.fn(*args, **kwargs)
+        self.msngr.trace.add_node("_RETURN", type="return", value=ret)
+        return ret
+
+    def get_trace(self, *args, **kwargs) -> Trace:
+        self(*args, **kwargs)
+        return self.msngr.trace
+
+
+def trace(fn: Callable) -> TraceHandler:
+    """``trace(model).get_trace(*args)`` records all sites of one execution."""
+    return TraceHandler(fn)

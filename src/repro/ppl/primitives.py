@@ -1,0 +1,95 @@
+"""Probabilistic-programming primitives: ``sample``, ``param``, ``plate``.
+
+These are the user-facing statements of the Pyro substitute.  When no effect
+handler is active they behave like plain sampling / parameter lookup; under
+handlers (trace, replay, condition, ...) their behaviour is transformed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from . import constraints
+from .distributions import Delta, Distribution
+from .params import get_param_store
+from .poutine.runtime import Messenger, am_i_wrapped, apply_stack, new_message
+
+__all__ = ["sample", "param", "deterministic", "plate", "factor"]
+
+
+def sample(name: str, fn: Distribution, obs: Optional[Any] = None,
+           infer: Optional[Dict] = None) -> Tensor:
+    """Sample (or observe) a random variable named ``name`` from ``fn``."""
+    if not am_i_wrapped():
+        if obs is not None:
+            return obs if isinstance(obs, Tensor) else Tensor(np.asarray(obs))
+        return fn.rsample() if getattr(fn, "has_rsample", False) else fn.sample()
+    obs_value = None
+    if obs is not None:
+        obs_value = obs if isinstance(obs, Tensor) else Tensor(np.asarray(obs))
+    msg = new_message("sample", name, fn, value=obs_value, is_observed=obs is not None,
+                      infer=infer)
+    apply_stack(msg)
+    return msg["value"]
+
+
+def param(name: str, init_value: Optional[Any] = None,
+          constraint: Optional[constraints.Constraint] = None) -> Tensor:
+    """Declare / fetch a learnable parameter living in the global param store."""
+    init_arr = None
+    if init_value is not None:
+        init_arr = init_value.data if isinstance(init_value, Tensor) else np.asarray(init_value, dtype=np.float64)
+    if not am_i_wrapped():
+        store = get_param_store()
+        if name in store:
+            return store.get_param(name)
+        if init_arr is None:
+            raise ValueError(f"param {name!r} has no initial value and is not in the store")
+        return store.setdefault(name, init_arr, constraint)
+    msg = new_message("param", name, None, args=(init_arr, constraint))
+    apply_stack(msg)
+    return msg["value"]
+
+
+def deterministic(name: str, value: Tensor) -> Tensor:
+    """Record a deterministic function of other sites (a Delta sample site)."""
+    value_t = value if isinstance(value, Tensor) else Tensor(np.asarray(value))
+    return sample(name, Delta(value_t, event_dim=value_t.ndim), obs=value_t)
+
+
+def factor(name: str, log_factor: Tensor) -> None:
+    """Add an arbitrary log-density term to the model (a unit Delta site)."""
+    log_t = log_factor if isinstance(log_factor, Tensor) else Tensor(np.asarray(log_factor))
+    sample(name, Delta(Tensor(np.zeros(log_t.shape)), log_density=log_t, event_dim=log_t.ndim),
+           obs=Tensor(np.zeros(log_t.shape)))
+
+
+class plate(Messenger):
+    """Conditional-independence context that rescales densities under subsampling.
+
+    ``with plate("data", size=N, subsample_size=B):`` multiplies the
+    log-density of every sample statement inside by ``N / B`` — the mechanism
+    the TyXe likelihoods use to weight mini-batch log-likelihoods against the
+    full-dataset KL term.
+    """
+
+    def __init__(self, name: str, size: int, subsample_size: Optional[int] = None,
+                 dim: Optional[int] = None) -> None:
+        self.name = name
+        self.size = int(size)
+        self.subsample_size = int(subsample_size) if subsample_size is not None else self.size
+        self.dim = dim
+        if self.subsample_size <= 0 or self.size <= 0:
+            raise ValueError("plate size and subsample_size must be positive")
+
+    @property
+    def scale(self) -> float:
+        return self.size / self.subsample_size
+
+    def process_message(self, msg) -> None:
+        if msg["type"] == "sample":
+            msg["scale"] = msg["scale"] * self.scale
+            msg.setdefault("cond_indep_stack", []).append((self.name, self.size, self.subsample_size, self.dim))

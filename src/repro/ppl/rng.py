@@ -1,0 +1,41 @@
+"""Global random-number-generator handling for the probabilistic layer.
+
+Pyro exposes ``pyro.set_rng_seed``; everything stochastic in ``repro.ppl``
+(and in the distributions used by the BNN classes) draws from the generator
+managed here so that experiments and tests are reproducible with a single
+seed call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["get_rng", "set_rng_seed", "fork_rng"]
+
+_RNG: np.random.Generator = np.random.default_rng(0)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the global generator used by all ``repro.ppl`` sampling."""
+    return _RNG
+
+
+def set_rng_seed(seed: int) -> None:
+    """Re-seed the global generator (equivalent to ``pyro.set_rng_seed``)."""
+    global _RNG
+    _RNG = np.random.default_rng(seed)
+
+
+@contextlib.contextmanager
+def fork_rng(seed: Optional[int] = None) -> Iterator[np.random.Generator]:
+    """Temporarily replace the global generator, restoring it afterwards."""
+    global _RNG
+    previous = _RNG
+    _RNG = np.random.default_rng(seed) if seed is not None else np.random.default_rng(previous.integers(2 ** 63))
+    try:
+        yield _RNG
+    finally:
+        _RNG = previous

@@ -1,0 +1,19 @@
+"""``repro.render`` — volumetric rendering substrate (Pytorch3D/NeRF substitute)."""
+
+from .cameras import camera_rays, look_at_camera, ray_grid
+from .nerf import NeRFField, PositionalEncoding, make_nerf_field
+from .renderer import VolumetricRenderer
+from .scenes import make_scene_dataset, train_test_angles, two_sphere_field
+
+__all__ = [
+    "camera_rays",
+    "look_at_camera",
+    "ray_grid",
+    "PositionalEncoding",
+    "NeRFField",
+    "make_nerf_field",
+    "VolumetricRenderer",
+    "two_sphere_field",
+    "make_scene_dataset",
+    "train_test_angles",
+]

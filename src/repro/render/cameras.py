@@ -1,0 +1,71 @@
+"""Cameras and ray generation for the volumetric-rendering substrate.
+
+A camera orbits the origin at a fixed radius and elevation and looks at the
+origin; :func:`camera_rays` returns per-pixel ray origins and (unit)
+directions for a pinhole camera of the given resolution — the inputs the
+volumetric renderer marches through the scene.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["look_at_camera", "camera_rays", "ray_grid"]
+
+
+def look_at_camera(azimuth_deg: float, elevation_deg: float = 20.0,
+                   radius: float = 2.5) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return (position, forward, right, up) of a camera orbiting the origin."""
+    azimuth = math.radians(azimuth_deg)
+    elevation = math.radians(elevation_deg)
+    position = radius * np.array([
+        math.cos(elevation) * math.cos(azimuth),
+        math.cos(elevation) * math.sin(azimuth),
+        math.sin(elevation),
+    ])
+    forward = -position / np.linalg.norm(position)
+    world_up = np.array([0.0, 0.0, 1.0])
+    right = np.cross(forward, world_up)
+    right /= np.linalg.norm(right)
+    up = np.cross(right, forward)
+    return position, forward, right, up
+
+
+def camera_rays(azimuth_deg: float, image_size: int = 16, fov_deg: float = 45.0,
+                elevation_deg: float = 20.0, radius: float = 2.5
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-pixel ray origins and directions for a pinhole camera.
+
+    Returns ``(origins, directions)`` with shape ``(image_size**2, 3)`` each,
+    in row-major pixel order.
+    """
+    position, forward, right, up = look_at_camera(azimuth_deg, elevation_deg, radius)
+    half_extent = math.tan(math.radians(fov_deg) / 2.0)
+    # pixel centers in [-1, 1]; the first image row maps to the top of the view
+    coords = (np.arange(image_size) + 0.5) / image_size * 2.0 - 1.0
+    px = np.tile(coords[None, :], (image_size, 1))    # px[row, col] = coords[col]
+    py = np.tile(-coords[:, None], (1, image_size))   # py[row, col] = -coords[row]
+    directions = (forward[None, None, :]
+                  + px[..., None] * half_extent * right[None, None, :]
+                  + py[..., None] * half_extent * up[None, None, :])
+    directions = directions.reshape(-1, 3)
+    directions /= np.linalg.norm(directions, axis=-1, keepdims=True)
+    origins = np.broadcast_to(position, directions.shape).copy()
+    return origins, directions
+
+
+def ray_grid(origins: np.ndarray, directions: np.ndarray, near: float, far: float,
+             num_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stratified sample points along each ray.
+
+    Returns ``(points, deltas)`` where ``points`` has shape
+    ``(num_rays, num_samples, 3)`` and ``deltas`` is the segment length
+    associated with each sample.
+    """
+    t_values = np.linspace(near, far, num_samples)
+    deltas = np.full(num_samples, (far - near) / max(num_samples - 1, 1))
+    points = origins[:, None, :] + t_values[None, :, None] * directions[:, None, :]
+    return points, deltas

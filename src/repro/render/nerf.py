@@ -1,0 +1,68 @@
+"""Neural radiance field: positional encoding + MLP density/colour field.
+
+This is the network that gets wrapped in :class:`repro.core.bnn.PytorchBNN`
+in the Bayesian-NeRF experiment (paper Section 4.2).  It maps a batch of 3-D
+points to ``(density, r, g, b)``; the volumetric renderer composites those
+along camera rays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Linear, Module, ReLU, Sequential
+from ..nn.tensor import Tensor, concatenate
+
+__all__ = ["PositionalEncoding", "NeRFField", "make_nerf_field"]
+
+
+class PositionalEncoding(Module):
+    """Fourier-feature encoding ``[sin(2^k pi x), cos(2^k pi x)]_k`` of 3-D points."""
+
+    def __init__(self, num_frequencies: int = 4, include_input: bool = True) -> None:
+        super().__init__()
+        self.num_frequencies = num_frequencies
+        self.include_input = include_input
+        self.frequencies = 2.0 ** np.arange(num_frequencies) * np.pi
+
+    @property
+    def output_dim(self) -> int:
+        return 3 * (2 * self.num_frequencies + (1 if self.include_input else 0))
+
+    def forward(self, points: Tensor) -> Tensor:
+        parts = [points] if self.include_input else []
+        for freq in self.frequencies:
+            scaled = points * float(freq)
+            parts.append(scaled.sin())
+            parts.append(scaled.cos())
+        return concatenate(parts, axis=-1)
+
+
+class NeRFField(Module):
+    """MLP mapping encoded points to ``(density_logit, rgb_logits)``."""
+
+    def __init__(self, num_frequencies: int = 4, hidden: int = 64, depth: int = 3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.encoding = PositionalEncoding(num_frequencies)
+        layers = []
+        prev = self.encoding.output_dim
+        for _ in range(depth):
+            layers.append(Linear(prev, hidden, rng=rng))
+            layers.append(ReLU())
+            prev = hidden
+        self.backbone = Sequential(*layers)
+        self.head = Linear(prev, 4, rng=rng)
+
+    def forward(self, points: Tensor) -> Tensor:
+        """``points``: (N, 3) -> (N, 4) raw field values (density logit + rgb logits)."""
+        return self.head(self.backbone(self.encoding(points)))
+
+
+def make_nerf_field(num_frequencies: int = 4, hidden: int = 64, depth: int = 3,
+                    rng: Optional[np.random.Generator] = None) -> NeRFField:
+    """Factory used by the NeRF example and benchmark."""
+    return NeRFField(num_frequencies=num_frequencies, hidden=hidden, depth=depth, rng=rng)

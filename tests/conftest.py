@@ -1,0 +1,54 @@
+"""Shared fixtures: every test runs with a fresh parameter store and fixed seeds."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ppl_state():
+    """Isolate tests from each other's parameter store and RNG state."""
+    ppl.clear_param_store()
+    ppl.set_rng_seed(0)
+    yield
+    ppl.clear_param_store()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator for test data."""
+    return np.random.default_rng(12345)
+
+
+def gradcheck(fn, x, eps=1e-6, atol=1e-5):
+    """Compare analytic and central-difference gradients of a scalar function.
+
+    ``fn`` maps a Tensor to a scalar Tensor; ``x`` is a NumPy array input.
+    Returns the maximum absolute deviation (also asserted to be below atol).
+    """
+    from repro.nn.tensor import Tensor
+
+    x_t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    out = fn(x_t)
+    out.backward()
+    analytic = x_t.grad.copy()
+    numeric = np.zeros_like(analytic)
+    flat = np.asarray(x, dtype=np.float64)
+    it = np.nditer(flat, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        xp = flat.copy()
+        xm = flat.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        numeric[idx] = (fn(Tensor(xp)).item() - fn(Tensor(xm)).item()) / (2 * eps)
+    max_err = float(np.max(np.abs(analytic - numeric)))
+    assert max_err < atol, f"gradcheck failed: max deviation {max_err}"
+    return max_err
+
+
+@pytest.fixture
+def grad_check():
+    """Expose the gradcheck helper as a fixture."""
+    return gradcheck

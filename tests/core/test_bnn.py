@@ -1,0 +1,262 @@
+"""Unit and integration tests for the BNN wrapper classes."""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+
+
+def _regression_data(rng, n=60, noise=0.1):
+    x = np.concatenate([rng.uniform(-1, -0.5, (n // 2, 1)), rng.uniform(0.5, 1, (n // 2, 1))])
+    y = np.cos(4 * x + 0.8) + rng.normal(0, noise, x.shape)
+    return x, y
+
+
+def _small_net(rng, hidden=16):
+    return nn.Sequential(nn.Linear(1, hidden, rng=rng), nn.Tanh(), nn.Linear(hidden, 1, rng=rng))
+
+
+@pytest.fixture
+def prior():
+    return tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+
+
+class TestBNNBookkeeping:
+    def test_bayesian_sites_and_deterministic_parameters(self, rng):
+        net = _small_net(rng)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide_parameters=["bias"])
+        bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                                  tyxe.guides.AutoNormal)
+        assert set(bnn.bayesian_sites()) == {"0.weight", "2.weight"}
+        det_names = len(bnn.deterministic_parameters())
+        assert det_names == 2  # the two bias vectors
+
+    def test_update_prior_merges_distributions(self, rng, prior):
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                                  tyxe.guides.AutoNormal)
+        new = {"0.weight": dist.Normal(np.zeros((16, 1)), np.full((16, 1), 0.01)).to_event(2)}
+        bnn.update_prior(tyxe.priors.DictPrior(new))
+        assert bnn.param_dists["0.weight"] is new["0.weight"]
+        assert "2.weight" in bnn.param_dists  # untouched sites are kept
+
+    def test_net_model_substitutes_and_restores_parameters(self, rng, prior):
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                                  tyxe.guides.AutoNormal)
+        original_weight = net[0].weight
+        bnn.net_model(Tensor(np.zeros((3, 1))))
+        assert net[0].weight is original_weight
+
+    def test_unique_guide_prefixes_for_multiple_bnns(self, rng, prior):
+        net_a, net_b = _small_net(rng), _small_net(rng)
+        lik = tyxe.likelihoods.HomoskedasticGaussian(10, 0.1)
+        bnn_a = tyxe.VariationalBNN(net_a, prior, lik, tyxe.guides.AutoNormal)
+        bnn_b = tyxe.VariationalBNN(net_b, prior, lik, tyxe.guides.AutoNormal)
+        assert bnn_a.net_guide.prefix != bnn_b.net_guide.prefix
+
+
+class TestVariationalBNN:
+    def test_listing1_five_line_setup(self, rng):
+        """The paper's Listing 1 translated to this package's API."""
+        net = nn.Sequential(nn.Linear(1, 50, rng=rng), nn.Tanh(), nn.Linear(50, 1, rng=rng))
+        likelihood = tyxe.likelihoods.HomoskedasticGaussian(80, scale=0.1)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        guide_factory = tyxe.guides.AutoNormal
+        bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+        assert isinstance(bnn, tyxe.VariationalBNN)
+
+    def test_fit_reduces_elbo_loss(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, shuffle=True, rng=rng)
+        losses = []
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 30,
+                callback=lambda b, e, l: losses.append(l) and False)
+        assert losses[-1] < losses[0]
+
+    def test_callback_can_stop_training(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  tyxe.guides.AutoNormal)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, rng=rng)
+        epochs_seen = []
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 50,
+                callback=lambda b, e, l: epochs_seen.append(e) or e >= 2)
+        assert epochs_seen[-1] == 2
+
+    def test_predict_aggregate_and_stacked(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  tyxe.guides.AutoNormal)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 2)
+        stacked = bnn.predict(x[:10], num_predictions=5, aggregate=False)
+        assert stacked.shape == (5, 10, 1)
+        aggregated = bnn.predict(x[:10], num_predictions=5, aggregate=True)
+        assert aggregated.shape == (10, 1)
+
+    def test_predictions_vary_across_samples(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  partial(tyxe.guides.AutoNormal, init_scale=0.1))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 1)
+        stacked = bnn.predict(x[:5], num_predictions=4, aggregate=False)
+        assert stacked.data.std(axis=0).max() > 0
+
+    def test_evaluate_returns_ll_and_error(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-3))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 20)
+        ll, err = bnn.evaluate(x, y, num_predictions=4)
+        assert np.isfinite(ll)
+        assert err < 1.0
+
+    def test_learning_improves_fit_versus_prior(self, rng, prior):
+        x, y = _regression_data(rng)
+        net = _small_net(rng)
+        bnn = tyxe.VariationalBNN(net, prior,
+                                  tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-3))
+        _, err_before = bnn.evaluate(x, y, num_predictions=4)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=30, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 40)
+        _, err_after = bnn.evaluate(x, y, num_predictions=4)
+        assert err_after < err_before
+
+    def test_classification_bnn(self, rng):
+        images = rng.standard_normal((40, 4))
+        labels = (images[:, 0] > 0).astype(int)
+        net = nn.Sequential(nn.Linear(4, 16, rng=rng), nn.ReLU(), nn.Linear(16, 2, rng=rng))
+        bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(len(images)),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-3))
+        loader = nn.DataLoader(nn.TensorDataset(images, labels), batch_size=20, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 30)
+        _, err = bnn.evaluate(images, labels, num_predictions=8)
+        assert err < 0.2
+
+    def test_batchnorm_parameters_trained_deterministically(self, rng):
+        net = nn.models.resnet8(num_classes=3, base_width=4, rng=rng)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide_module_types=[nn.BatchNorm2d])
+        bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.Categorical(12),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-3))
+        assert not any("bn" in name for name in bnn.bayesian_sites())
+        x = rng.standard_normal((12, 3, 8, 8))
+        y = rng.integers(0, 3, 12)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=12, rng=rng)
+        before = net.bn1.weight.data.copy()
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 3)
+        assert not np.allclose(before, net.bn1.weight.data)
+
+
+class TestPytorchBNN:
+    def test_forward_returns_predictions_and_caches_kl(self, rng, prior):
+        net = _small_net(rng)
+        pbnn = tyxe.PytorchBNN(net, prior, partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        out = pbnn(Tensor(rng.standard_normal((5, 1))))
+        assert out.shape == (5, 1)
+        assert pbnn.cached_kl_loss is not None
+        assert pbnn.cached_kl_loss.item() >= 0
+
+    def test_pytorch_parameters_requires_data_and_returns_trainables(self, rng, prior):
+        net = _small_net(rng)
+        pbnn = tyxe.PytorchBNN(net, prior, partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        params = pbnn.pytorch_parameters(Tensor(rng.standard_normal((3, 1))))
+        # loc + scale for each of the 4 parameter tensors
+        assert len(params) == 8
+
+    def test_trains_with_plain_pytorch_optimizer(self, rng, prior):
+        x, y = _regression_data(rng, n=40)
+        net = _small_net(rng)
+        pbnn = tyxe.PytorchBNN(net, prior, partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        optim = nn.Adam(pbnn.pytorch_parameters(Tensor(x)), lr=1e-2)
+        losses = []
+        for _ in range(60):
+            optim.zero_grad()
+            out = pbnn(Tensor(x))
+            loss = F.mse_loss(out, Tensor(y)) + pbnn.cached_kl_loss / (100 * len(x))
+            loss.backward()
+            optim.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_kl_decreases_when_posterior_matches_prior(self, rng):
+        net = _small_net(rng)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        guide = partial(tyxe.guides.AutoNormal, init_scale=1.0,
+                        init_loc_fn=tyxe.guides.init_to_constant(0.0))
+        pbnn = tyxe.PytorchBNN(net, prior, guide)
+        pbnn(Tensor(rng.standard_normal((2, 1))))
+        kl_matched = pbnn.cached_kl_loss.item()
+        guide2 = partial(tyxe.guides.AutoNormal, init_scale=1e-3,
+                         init_loc_fn=tyxe.guides.init_to_constant(5.0))
+        pbnn2 = tyxe.PytorchBNN(net, prior, guide2)
+        pbnn2(Tensor(rng.standard_normal((2, 1))))
+        assert pbnn2.cached_kl_loss.item() > kl_matched
+
+    def test_stochastic_forward_differs_between_calls(self, rng, prior):
+        net = _small_net(rng)
+        pbnn = tyxe.PytorchBNN(net, prior, partial(tyxe.guides.AutoNormal, init_scale=0.5))
+        x = Tensor(rng.standard_normal((4, 1)))
+        out1, out2 = pbnn(x).data, pbnn(x).data
+        assert not np.allclose(out1, out2)
+
+
+class TestMCMCBNN:
+    def test_fit_and_predict_with_hmc(self, rng, prior):
+        x, y = _regression_data(rng, n=30)
+        net = nn.Sequential(nn.Linear(1, 8, rng=rng), nn.Tanh(), nn.Linear(8, 1, rng=rng))
+        bnn = tyxe.MCMC_BNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                            partial(ppl.infer.HMC, step_size=1e-3, num_steps=5))
+        bnn.fit((x, y), num_samples=20, warmup_steps=10)
+        assert bnn.num_posterior_samples == 20
+        stacked = bnn.predict(x[:5], num_predictions=4, aggregate=False)
+        assert stacked.shape == (4, 5, 1)
+        aggregated = bnn.predict(x[:5], num_predictions=4)
+        assert aggregated.shape == (5, 1)
+
+    def test_fit_accepts_data_loader(self, rng, prior):
+        x, y = _regression_data(rng, n=20)
+        net = nn.Sequential(nn.Linear(1, 4, rng=rng), nn.Tanh(), nn.Linear(4, 1, rng=rng))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=10)
+        bnn = tyxe.MCMC_BNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                            partial(ppl.infer.HMC, step_size=1e-3, num_steps=3))
+        bnn.fit(loader, num_samples=5, warmup_steps=5)
+        assert bnn.num_posterior_samples == 5
+
+    def test_predict_before_fit_raises(self, rng, prior):
+        net = nn.Sequential(nn.Linear(1, 4, rng=rng), nn.Tanh(), nn.Linear(4, 1, rng=rng))
+        bnn = tyxe.MCMC_BNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                            partial(ppl.infer.HMC, step_size=1e-3, num_steps=3))
+        with pytest.raises(RuntimeError):
+            bnn.predict(np.zeros((2, 1)))
+
+    def test_posterior_samples_shapes(self, rng, prior):
+        x, y = _regression_data(rng, n=20)
+        net = nn.Sequential(nn.Linear(1, 4, rng=rng), nn.Tanh(), nn.Linear(4, 1, rng=rng))
+        bnn = tyxe.MCMC_BNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                            partial(ppl.infer.NUTS, step_size=1e-3, max_tree_depth=3))
+        bnn.fit((x, y), num_samples=5, warmup_steps=5)
+        samples = bnn.posterior_samples()
+        assert samples["0.weight"].shape == (5, 4, 1)

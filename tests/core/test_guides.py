@@ -1,0 +1,143 @@
+"""Unit tests for the TyXe-style guides."""
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl import poutine
+
+
+def _model_factory(net, prior):
+    """A minimal weight-space model over the given net's parameters."""
+    dists = prior.get_distributions(net)
+
+    def model():
+        for name, d in dists.items():
+            ppl.sample(name, d)
+
+    return model
+
+
+@pytest.fixture
+def net(rng):
+    return nn.Sequential(nn.Linear(2, 4, rng=rng), nn.Tanh(), nn.Linear(4, 1, rng=rng))
+
+
+@pytest.fixture
+def prior():
+    return tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+
+
+class TestPretrainedInitializer:
+    def test_from_net_records_all_parameters(self, net):
+        init = tyxe.guides.PretrainedInitializer.from_net(net)
+        assert "0.weight" in init and "2.bias" in init
+
+    def test_returns_copy_of_values(self, net):
+        init = tyxe.guides.PretrainedInitializer.from_net(net)
+        value = init({"name": "0.weight", "value": net[0].weight})
+        np.testing.assert_allclose(value, net[0].weight.data)
+        value[0, 0] = 123.0
+        assert net[0].weight.data[0, 0] != 123.0
+
+    def test_fallback_for_unknown_site(self, net):
+        init = tyxe.guides.PretrainedInitializer.from_net(
+            net, fallback=lambda site: np.full(site["value"].shape, 9.0))
+        out = init({"name": "unknown", "value": Tensor(np.zeros(3)), "fn": dist.Normal(0.0, 1.0)})
+        np.testing.assert_allclose(out, 9.0)
+
+    def test_prefix(self, net):
+        init = tyxe.guides.PretrainedInitializer.from_net(net, prefix="net.")
+        assert "net.0.weight" in init
+
+
+class TestInitFunctions:
+    def test_init_to_normal_scales_with_fan_in(self):
+        site = {"name": "w", "value": Tensor(np.zeros((50, 100))), "fn": None}
+        values = tyxe.guides.init_to_normal("radford")(site)
+        assert values.std() == pytest.approx(0.1, rel=0.2)
+
+    def test_init_to_normal_zero_for_biases(self):
+        site = {"name": "b", "value": Tensor(np.zeros(10)), "fn": None}
+        np.testing.assert_allclose(tyxe.guides.init_to_normal()(site), 0.0)
+
+    def test_init_to_constant(self):
+        site = {"name": "w", "value": Tensor(np.zeros((2, 2))), "fn": None}
+        np.testing.assert_allclose(tyxe.guides.init_to_constant(0.3)(site), 0.3)
+
+
+class TestAutoNormalGuide:
+    def test_means_initialized_to_pretrained_values(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model,
+                                       init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(net),
+                                       init_scale=1e-3)
+        guide()
+        store = ppl.get_param_store()
+        np.testing.assert_allclose(store.get_param("auto.loc.0.weight").data, net[0].weight.data)
+
+    def test_train_loc_false_freezes_means(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model, train_loc=False)
+        guide()
+        store = ppl.get_param_store()
+        assert not store.get_unconstrained("auto.loc.0.weight").requires_grad
+        assert store.get_unconstrained("auto.scale.0.weight").requires_grad
+
+    def test_max_guide_scale_clips_scale(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model, max_guide_scale=0.1, init_scale=1e-2)
+        guide()
+        store = ppl.get_param_store()
+        unconstrained = store.get_unconstrained("auto.scale.0.weight")
+        unconstrained.data[...] = 100.0  # push the optimizer way past the cap
+        assert np.all(store.get_param("auto.scale.0.weight").data <= 0.1)
+
+    def test_init_scale_respected(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model, init_scale=1e-4)
+        guide()
+        store = ppl.get_param_store()
+        np.testing.assert_allclose(store.get_param("auto.scale.0.weight").data, 1e-4, rtol=1e-4)
+
+    def test_get_detached_distributions_for_vcl(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model, init_scale=1e-3)
+        guide()
+        posteriors = guide.get_detached_distributions()
+        assert set(posteriors) == {"0.weight", "0.bias", "2.weight", "2.bias"}
+        for d in posteriors.values():
+            base = d.base_dist if isinstance(d, dist.Independent) else d
+            assert not base.loc.requires_grad
+
+    def test_guide_samples_match_site_shapes(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model)
+        samples = guide()
+        assert samples["0.weight"].shape == (4, 2)
+        assert samples["2.bias"].shape == (1,)
+
+    def test_guide_trace_records_normal_sites(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoNormal(model)
+        tr = poutine.trace(guide).get_trace()
+        site = tr["0.weight"]
+        base = site["fn"].base_dist if isinstance(site["fn"], dist.Independent) else site["fn"]
+        assert isinstance(base, dist.Normal)
+
+
+class TestAutoDeltaAndLowRankReexports:
+    def test_autodelta_available_through_tyxe_guides(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoDelta(model)
+        samples = guide()
+        assert set(samples) == {"0.weight", "0.bias", "2.weight", "2.bias"}
+
+    def test_lowrank_available_through_tyxe_guides(self, net, prior):
+        model = _model_factory(net, prior)
+        guide = tyxe.guides.AutoLowRankMultivariateNormal(model, rank=3)
+        samples = guide()
+        assert samples["0.weight"].shape == (4, 2)

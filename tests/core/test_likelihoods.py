@@ -1,0 +1,181 @@
+"""Unit tests for the likelihood classes."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+import repro.core as tyxe
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl import poutine
+
+
+class TestCategorical:
+    def test_data_site_name_and_scaling(self):
+        lik = tyxe.likelihoods.Categorical(dataset_size=100)
+        logits = Tensor(np.random.default_rng(0).standard_normal((10, 3)))
+        labels = np.random.default_rng(1).integers(0, 3, 10)
+        tr = poutine.trace(lambda: lik(logits, labels)).get_trace()
+        assert lik.data_site in tr
+        assert tr[lik.data_site]["scale"] == pytest.approx(10.0)  # 100 / batch of 10
+
+    def test_log_likelihood_matches_manual(self, rng):
+        lik = tyxe.likelihoods.Categorical(dataset_size=10)
+        logits = rng.standard_normal((6, 4))
+        labels = rng.integers(0, 4, 6)
+        manual = dist.Categorical(logits=logits).log_prob(labels).data.mean()
+        assert lik.log_likelihood(Tensor(logits), Tensor(labels)) == pytest.approx(manual)
+
+    def test_error_is_classification_error(self):
+        lik = tyxe.likelihoods.Categorical(dataset_size=4)
+        logits = np.array([[5.0, 0.0], [0.0, 5.0], [5.0, 0.0], [0.0, 5.0]])
+        labels = np.array([0, 1, 1, 1])
+        assert lik.error(Tensor(logits), Tensor(labels)) == pytest.approx(0.25)
+
+    def test_aggregate_predictions_averages_probabilities(self, rng):
+        lik = tyxe.likelihoods.Categorical(dataset_size=4)
+        stacked = Tensor(rng.standard_normal((5, 3, 4)))
+        agg = lik.aggregate_predictions(stacked)
+        assert agg.shape == (3, 4)
+        probs = np.exp(agg.data)
+        np.testing.assert_allclose(probs.sum(-1), 1.0, rtol=1e-6)
+
+    def test_prob_parameterization(self, rng):
+        lik = tyxe.likelihoods.Categorical(dataset_size=4, logit_predictions=False)
+        probs = np.full((2, 2), 0.5)
+        np.testing.assert_allclose(lik.probs(Tensor(probs)).data, probs)
+
+
+class TestBernoulli:
+    def test_error_thresholds_at_half(self):
+        lik = tyxe.likelihoods.Bernoulli(dataset_size=4)
+        logits = np.array([2.0, -2.0, 2.0, -2.0])
+        labels = np.array([1.0, 0.0, 0.0, 0.0])
+        assert lik.error(Tensor(logits), Tensor(labels)) == pytest.approx(0.25)
+
+    def test_log_likelihood(self):
+        lik = tyxe.likelihoods.Bernoulli(dataset_size=2)
+        logits = np.array([0.0, 0.0])
+        labels = np.array([1.0, 0.0])
+        assert lik.log_likelihood(Tensor(logits), Tensor(labels)) == pytest.approx(np.log(0.5))
+
+    def test_aggregation(self, rng):
+        lik = tyxe.likelihoods.Bernoulli(dataset_size=4)
+        stacked = Tensor(rng.standard_normal((7, 5)))
+        assert lik.aggregate_predictions(stacked).shape == (5,)
+
+
+class TestHomoskedasticGaussian:
+    def test_data_site_scaling_under_minibatch(self, rng):
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=80, scale=0.1)
+        preds = Tensor(rng.standard_normal((8, 1)))
+        obs = Tensor(rng.standard_normal((8, 1)))
+        tr = poutine.trace(lambda: lik(preds, obs)).get_trace()
+        assert tr[lik.data_site]["scale"] == pytest.approx(10.0)
+
+    def test_log_likelihood_matches_normal(self, rng):
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=5, scale=0.3)
+        preds, targets = rng.standard_normal(5), rng.standard_normal(5)
+        manual = dist.Normal(preds, 0.3).log_prob(targets).data.mean()
+        assert lik.log_likelihood(Tensor(preds), Tensor(targets)) == pytest.approx(manual)
+
+    def test_error_is_squared_error(self):
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=2, scale=1.0)
+        preds = np.array([[1.0], [2.0]])
+        targets = np.array([[0.0], [4.0]])
+        assert lik.error(Tensor(preds), Tensor(targets)) == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_aggregate_is_mean_over_samples(self, rng):
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=4, scale=1.0)
+        stacked = rng.standard_normal((6, 3, 1))
+        np.testing.assert_allclose(lik.aggregate_predictions(Tensor(stacked)).data,
+                                   stacked.mean(axis=0))
+
+    def test_predictive_stddev_combines_noise_and_epistemic(self, rng):
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=4, scale=0.1)
+        stacked = Tensor(rng.standard_normal((50, 3, 1)))
+        std = lik.predictive_stddev(stacked)
+        epistemic = stacked.data.std(axis=0)
+        assert np.all(std >= epistemic - 1e-9)
+        assert np.all(std >= 0.1 - 1e-9)
+
+    def test_latent_scale_site(self):
+        scale_prior = dist.LogNormal(0.0, 0.1)
+        lik = tyxe.likelihoods.HomoskedasticGaussian(dataset_size=4, scale=scale_prior)
+        assert lik.scale_is_latent
+        preds = Tensor(np.zeros(4))
+        tr = poutine.trace(lambda: lik(preds, Tensor(np.zeros(4)))).get_trace()
+        assert "likelihood.scale" in tr
+        assert not tr["likelihood.scale"]["is_observed"]
+
+
+class TestHeteroskedasticGaussian:
+    def test_split_and_log_likelihood(self, rng):
+        lik = tyxe.likelihoods.HeteroskedasticGaussian(dataset_size=3)
+        means = rng.standard_normal((3, 2))
+        raw_scales = rng.standard_normal((3, 2))
+        preds = np.concatenate([means, raw_scales], axis=-1)
+        targets = rng.standard_normal((3, 2))
+        scales = np.logaddexp(0, raw_scales) + 1e-6
+        manual = dist.Normal(means, scales).log_prob(targets).data
+        # per-example log densities are summed over the output dimension, then averaged
+        assert lik.log_likelihood(Tensor(preds), Tensor(targets)) == pytest.approx(
+            manual.sum(-1).mean(), rel=1e-6)
+
+    def test_rejects_odd_dimension(self):
+        lik = tyxe.likelihoods.HeteroskedasticGaussian(dataset_size=3)
+        with pytest.raises(ValueError):
+            lik.predictive_distribution(Tensor(np.zeros((2, 3))))
+
+    def test_aggregation_precision_weighted(self, rng):
+        lik = tyxe.likelihoods.HeteroskedasticGaussian(dataset_size=3, positive_scale=True)
+        means = np.stack([np.zeros((4, 1)), np.ones((4, 1))])
+        scales = np.stack([np.full((4, 1), 0.1), np.full((4, 1), 10.0)])
+        preds = Tensor(np.concatenate([means, scales], axis=-1))
+        agg = lik.aggregate_predictions(preds)
+        agg_mean = agg.data[..., 0]
+        # the low-variance component (mean 0) should dominate
+        assert np.all(agg_mean < 0.1)
+
+    def test_error_uses_mean_component(self):
+        lik = tyxe.likelihoods.HeteroskedasticGaussian(dataset_size=2, positive_scale=True)
+        preds = np.array([[1.0, 1.0], [2.0, 1.0]])
+        targets = np.array([[0.0], [0.0]])
+        assert lik.error(Tensor(preds), Tensor(targets)) == pytest.approx((1 + 4) / 2)
+
+
+class TestPoisson:
+    def test_log_likelihood_positive_rate(self, rng):
+        lik = tyxe.likelihoods.Poisson(dataset_size=5)
+        preds = rng.standard_normal(5)
+        counts = rng.poisson(2.0, 5).astype(float)
+        value = lik.log_likelihood(Tensor(preds), Tensor(counts))
+        assert np.isfinite(value)
+
+    def test_error_is_squared_error_on_rate(self):
+        lik = tyxe.likelihoods.Poisson(dataset_size=1)
+        preds = Tensor(np.array([[0.0]]))
+        rate = np.logaddexp(0, 0.0) + 1e-6
+        assert lik.error(preds, Tensor(np.array([[2.0]]))) == pytest.approx((rate - 2.0) ** 2)
+
+    def test_aggregate(self, rng):
+        lik = tyxe.likelihoods.Poisson(dataset_size=1)
+        stacked = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(lik.aggregate_predictions(Tensor(stacked)).data,
+                                   stacked.mean(0))
+
+
+class TestLikelihoodBase:
+    def test_repr(self):
+        assert "dataset_size=7" in repr(tyxe.likelihoods.Categorical(dataset_size=7))
+
+    def test_custom_site_name(self):
+        lik = tyxe.likelihoods.Categorical(dataset_size=3, name="obs_model")
+        assert lik.data_site == "obs_model.data"
+
+    def test_sampling_without_obs_draws_from_predictive(self, rng):
+        lik = tyxe.likelihoods.Categorical(dataset_size=5)
+        logits = Tensor(rng.standard_normal((5, 3)))
+        sampled = lik(logits, obs=None)
+        assert sampled.shape == (5,)
+        assert np.all((sampled.data >= 0) & (sampled.data < 3))

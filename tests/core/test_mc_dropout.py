@@ -1,0 +1,87 @@
+"""Tests for the Monte Carlo dropout effect handler (paper Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+import repro.core as tyxe
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def dropout_net(rng):
+    return nn.Sequential(nn.Linear(4, 32, rng=rng), nn.ReLU(), nn.Dropout(0.5),
+                         nn.Linear(32, 2, rng=rng))
+
+
+class TestMCDropoutMessenger:
+    def test_forces_dropout_in_eval_mode(self, dropout_net, rng):
+        dropout_net.eval()
+        x = Tensor(rng.standard_normal((6, 4)))
+        plain1, plain2 = dropout_net(x).data, dropout_net(x).data
+        np.testing.assert_allclose(plain1, plain2)  # eval dropout is a no-op
+        with tyxe.poutine.mc_dropout():
+            mc1, mc2 = dropout_net(x).data, dropout_net(x).data
+        assert not np.allclose(mc1, mc2)  # stochastic even in eval mode
+
+    def test_handler_unregisters_on_exit(self, dropout_net, rng):
+        dropout_net.eval()
+        x = Tensor(rng.standard_normal((3, 4)))
+        with tyxe.poutine.mc_dropout():
+            pass
+        out1, out2 = dropout_net(x).data, dropout_net(x).data
+        np.testing.assert_allclose(out1, out2)
+
+    def test_fixed_mask_reuses_sample(self, dropout_net, rng):
+        dropout_net.eval()
+        x = Tensor(rng.standard_normal((5, 4)))
+        with tyxe.poutine.mc_dropout(fix_mask=True) as handler:
+            out1, out2 = dropout_net(x).data, dropout_net(x).data
+            np.testing.assert_allclose(out1, out2)  # same mask across calls
+            handler.reset_masks()
+            out3 = dropout_net(x).data
+        assert not np.allclose(out1, out3)
+
+    def test_override_probability(self, rng):
+        x = Tensor(np.ones((1, 1000)))
+        with tyxe.poutine.mc_dropout(p=0.9):
+            out = F.dropout(x, p=0.1, training=False)
+        dropped_fraction = (out.data == 0).mean()
+        assert dropped_fraction > 0.8  # the handler's p overrides the call's p
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        with tyxe.poutine.mc_dropout(p=0.0):
+            out = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_predictive_uncertainty_from_mc_dropout(self, dropout_net, rng):
+        """MC dropout gives non-degenerate predictive variance on a trained net."""
+        x = rng.standard_normal((64, 4))
+        y = (x[:, 0] > 0).astype(int)
+        optim = nn.Adam(dropout_net.parameters(), lr=1e-2)
+        for _ in range(50):
+            optim.zero_grad()
+            loss = F.cross_entropy(dropout_net(Tensor(x)), y)
+            loss.backward()
+            optim.step()
+        dropout_net.eval()
+        with tyxe.poutine.mc_dropout():
+            samples = np.stack([F.softmax(dropout_net(Tensor(x[:8]))).data for _ in range(16)])
+        assert samples.std(axis=0).mean() > 1e-3
+
+    def test_dropout_handler_registry_roundtrip(self):
+        class Constant:
+            def process_dropout(self, x, p, training, default_fn):
+                return x * 0.0
+
+        handler = Constant()
+        F.register_dropout_handler(handler)
+        try:
+            out = F.dropout(Tensor(np.ones(3)), p=0.5, training=True)
+            np.testing.assert_allclose(out.data, 0.0)
+        finally:
+            F.unregister_dropout_handler(handler)
+        out = F.dropout(Tensor(np.ones(3)), p=0.0, training=True)
+        np.testing.assert_allclose(out.data, 1.0)

@@ -1,0 +1,217 @@
+"""Tests for the BNN-specific effect handlers: local reparameterization,
+flipout and selective masking."""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl import poutine as ppl_poutine
+
+
+def _register_weight_sample(messenger, weight_value, loc, scale):
+    """Feed a fake sample message through the messenger's bookkeeping."""
+    messenger.postprocess_message({
+        "type": "sample",
+        "name": "w",
+        "fn": dist.Normal(Tensor(loc), Tensor(scale)).to_event(2),
+        "value": weight_value,
+        "is_observed": False,
+    })
+
+
+class TestLocalReparameterization:
+    def test_linear_output_distribution_matches_weight_sampling(self, rng):
+        """Sampling pre-activations must give the same mean/variance as sampling weights.
+
+        The weight-sampling distribution of ``x W^T`` with ``W ~ N(loc, scale^2)``
+        factorized has mean ``x loc^T`` and variance ``x^2 (scale^2)^T``; the
+        messenger's output samples must match those analytic moments.
+        """
+        ppl.set_rng_seed(0)
+        x = rng.standard_normal((1, 3))
+        loc = rng.standard_normal((4, 3))
+        scale = np.full((4, 3), 0.5)
+        expected_mean = x @ loc.T
+        expected_std = np.sqrt((x ** 2) @ (scale ** 2).T)
+
+        messenger = tyxe.poutine.LocalReparameterizationMessenger()
+        outs = []
+        num_samples = 5000
+        with messenger:
+            weight = Tensor(loc)  # the actual sampled value is ignored by local reparam
+            _register_weight_sample(messenger, weight, loc, scale)
+            for _ in range(num_samples):
+                outs.append(F.linear(Tensor(x), weight, None).data)
+        ours = np.stack(outs)
+        # tolerances: ~5 standard errors of the Monte Carlo estimates
+        mean_tol = 5 * expected_std / np.sqrt(num_samples)
+        assert np.all(np.abs(ours.mean(0) - expected_mean) < mean_tol)
+        np.testing.assert_allclose(ours.std(0), expected_std, rtol=0.1)
+
+    def test_per_datapoint_samples_are_decorrelated(self, rng):
+        """With a shared weight sample the outputs for identical rows are identical;
+        under local reparameterization they differ."""
+        x = np.tile(rng.standard_normal((1, 3)), (2, 1))
+        loc, scale = rng.standard_normal((4, 3)), np.full((4, 3), 0.5)
+        messenger = tyxe.poutine.LocalReparameterizationMessenger()
+        with messenger:
+            weight = Tensor(loc)
+            _register_weight_sample(messenger, weight, loc, scale)
+            out = F.linear(Tensor(x), weight, None).data
+        assert not np.allclose(out[0], out[1])
+
+    def test_ignores_unregistered_weights(self, rng):
+        x, w = Tensor(rng.standard_normal((2, 3))), Tensor(rng.standard_normal((4, 3)))
+        with tyxe.poutine.local_reparameterization():
+            out = F.linear(x, w, None)
+        np.testing.assert_allclose(out.data, x.data @ w.data.T)
+
+    def test_conv2d_variance_increases_with_scale(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        loc = rng.standard_normal((3, 2, 3, 3)) * 0.1
+
+        def conv_std(scale_value):
+            messenger = tyxe.poutine.LocalReparameterizationMessenger()
+            outs = []
+            with messenger:
+                weight = Tensor(loc)
+                messenger.postprocess_message({
+                    "type": "sample", "name": "w", "value": weight, "is_observed": False,
+                    "fn": dist.Normal(Tensor(loc), Tensor(np.full(loc.shape, scale_value))).to_event(4),
+                })
+                for _ in range(200):
+                    outs.append(F.conv2d(x if isinstance(x, Tensor) else Tensor(x), weight,
+                                         None, stride=1, padding=1).data)
+            return np.stack(outs).std(0).mean()
+
+        assert conv_std(0.5) > conv_std(0.05)
+
+    def test_handler_registered_and_unregistered(self):
+        before = len(F.active_linear_op_handlers())
+        with tyxe.poutine.local_reparameterization():
+            assert len(F.active_linear_op_handlers()) == before + 1
+        assert len(F.active_linear_op_handlers()) == before
+
+    def test_gradient_flows_to_variational_parameters(self, rng):
+        loc = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        scale = Tensor(np.full((4, 3), 0.3), requires_grad=True)
+        messenger = tyxe.poutine.LocalReparameterizationMessenger()
+        with messenger:
+            weight = Tensor(loc.data)
+            messenger.postprocess_message({
+                "type": "sample", "name": "w", "value": weight, "is_observed": False,
+                "fn": dist.Normal(loc, scale).to_event(2),
+            })
+            out = F.linear(Tensor(rng.standard_normal((5, 3))), weight, None)
+        (out ** 2).sum().backward()
+        assert loc.grad is not None and scale.grad is not None
+
+
+class TestFlipout:
+    def test_marginal_distribution_preserved(self, rng):
+        ppl.set_rng_seed(0)
+        x = rng.standard_normal((1, 3))
+        loc = rng.standard_normal((4, 3))
+        scale = np.full((4, 3), 0.5)
+        messenger = tyxe.poutine.FlipoutMessenger()
+        outs = []
+        with messenger:
+            for _ in range(4000):
+                w_sample = Tensor(loc + scale * np.random.default_rng().standard_normal((4, 3)))
+                _register_weight_sample(messenger, w_sample, loc, scale)
+                outs.append(F.linear(Tensor(x), w_sample, None).data)
+        ours = np.stack(outs)
+        expected_mean = x @ loc.T
+        expected_std = np.sqrt((x ** 2) @ (scale ** 2).T)
+        np.testing.assert_allclose(ours.mean(0), expected_mean, atol=0.06)
+        np.testing.assert_allclose(ours.std(0), expected_std, rtol=0.1)
+
+    def test_decorrelates_identical_inputs(self, rng):
+        x = np.tile(rng.standard_normal((1, 3)), (2, 1))
+        loc, scale = rng.standard_normal((4, 3)), np.full((4, 3), 0.5)
+        messenger = tyxe.poutine.FlipoutMessenger()
+        with messenger:
+            w_sample = Tensor(loc + scale * rng.standard_normal((4, 3)))
+            _register_weight_sample(messenger, w_sample, loc, scale)
+            out = F.linear(Tensor(x), w_sample, None).data
+        assert not np.allclose(out[0], out[1])
+
+    def test_conv2d_flipout_shape(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)))
+        loc = rng.standard_normal((3, 2, 3, 3))
+        messenger = tyxe.poutine.FlipoutMessenger()
+        with messenger:
+            w_sample = Tensor(loc + 0.1 * rng.standard_normal(loc.shape))
+            messenger.postprocess_message({
+                "type": "sample", "name": "w", "value": w_sample, "is_observed": False,
+                "fn": dist.Normal(Tensor(loc), Tensor(np.full(loc.shape, 0.1))).to_event(4),
+            })
+            out = F.conv2d(x, w_sample, None, stride=1, padding=1)
+        assert out.shape == (2, 3, 5, 5)
+
+
+class TestSelectiveMask:
+    def test_masks_only_exposed_sites(self):
+        def model():
+            ppl.sample("likelihood.data", dist.Normal(0.0, 1.0), obs=np.array([1.0, 1.0, 1.0]))
+            ppl.sample("other", dist.Normal(0.0, 1.0), obs=np.array(1.0))
+
+        mask = np.array([1.0, 0.0, 0.0])
+        with_mask = tyxe.poutine.selective_mask(mask=mask, expose=["likelihood.data"])
+        tr = ppl_poutine.trace(with_mask(model)).get_trace()
+        tr.compute_log_prob()
+        single = dist.Normal(0.0, 1.0).log_prob(np.array(1.0)).item()
+        assert tr["likelihood.data"]["log_prob_sum"].item() == pytest.approx(single)
+        assert tr["other"]["log_prob_sum"].item() == pytest.approx(single)
+
+    def test_hide_semantics(self):
+        def model():
+            ppl.sample("a", dist.Normal(0.0, 1.0), obs=np.array([1.0, 1.0]))
+            ppl.sample("b", dist.Normal(0.0, 1.0), obs=np.array([1.0, 1.0]))
+
+        mask = np.array([1.0, 0.0])
+        handler = tyxe.poutine.selective_mask(mask=mask, hide=["b"])
+        tr = ppl_poutine.trace(handler(model)).get_trace()
+        tr.compute_log_prob()
+        single = dist.Normal(0.0, 1.0).log_prob(np.array(1.0)).item()
+        assert tr["a"]["log_prob_sum"].item() == pytest.approx(single)
+        assert tr["b"]["log_prob_sum"].item() == pytest.approx(2 * single)
+
+    def test_composes_with_existing_mask(self):
+        def model():
+            ppl.sample("x", dist.Normal(0.0, 1.0), obs=np.array([1.0, 1.0, 1.0]))
+
+        def wrapped():
+            with ppl_poutine.mask(mask=np.array([1.0, 1.0, 0.0])):
+                with tyxe.poutine.selective_mask(mask=np.array([1.0, 0.0, 1.0]), expose=["x"]):
+                    model()
+
+        tr = ppl_poutine.trace(wrapped).get_trace()
+        tr.compute_log_prob()
+        single = dist.Normal(0.0, 1.0).log_prob(np.array(1.0)).item()
+        assert tr["x"]["log_prob_sum"].item() == pytest.approx(single)
+
+    def test_gnn_style_usage_with_bnn_fit(self, rng):
+        """Masked semi-supervised training runs end to end (Listing 4 shape)."""
+        from repro.datasets import make_citation_graph
+        from repro.gnn import two_layer_gcn
+
+        data = make_citation_graph(num_nodes=40, num_classes=3, feature_dim=8,
+                                   train_per_class=3, val_per_class=3, seed=0)
+        gnn = two_layer_gcn(data.num_features, 8, data.num_classes, rng=rng)
+        bnn = tyxe.VariationalBNN(gnn, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(dataset_size=data.graph.num_nodes),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        features = Tensor(data.features)
+        train_data = [((data.graph, features), Tensor(data.labels))]
+        with tyxe.poutine.selective_mask(mask=data.train_mask.astype(float),
+                                         expose=[bnn.likelihood.data_site]):
+            bnn.fit(train_data, ppl.optim.Adam({"lr": 1e-2}), 3)
+        preds = bnn.predict((data.graph, features), num_predictions=2)
+        assert preds.shape == (40, 3)

@@ -1,0 +1,128 @@
+"""Unit tests for the prior classes and their hide/expose logic."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+import repro.core as tyxe
+from repro.ppl import distributions as dist
+
+
+@pytest.fixture
+def small_resnet(rng):
+    return nn.models.resnet8(num_classes=4, base_width=4, rng=rng)
+
+
+@pytest.fixture
+def mlp(rng):
+    return nn.Sequential(nn.Linear(3, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+
+
+class TestIIDPrior:
+    def test_exposes_all_parameters_by_default(self, mlp):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        dists = prior.get_distributions(mlp)
+        assert set(dists) == {"0.weight", "0.bias", "2.weight", "2.bias"}
+
+    def test_distribution_event_shape_matches_parameter(self, mlp):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        dists = prior.get_distributions(mlp)
+        assert dists["0.weight"].event_shape == (8, 3)
+        assert dists["0.weight"].log_prob(np.zeros((8, 3))).shape == ()
+
+    def test_rejects_non_scalar_base(self):
+        with pytest.raises(ValueError):
+            tyxe.priors.IIDPrior(dist.Normal(np.zeros(3), np.ones(3)))
+
+    def test_hide_module_types_excludes_batchnorm(self, small_resnet):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=True,
+                                     hide_module_types=[nn.BatchNorm2d])
+        dists = prior.get_distributions(small_resnet)
+        assert not any("bn" in name for name in dists)
+        assert not any("downsample.1" in name for name in dists)
+        assert any(name.endswith("conv1.weight") for name in dists)
+
+    def test_expose_modules_last_layer_only(self, small_resnet):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=False,
+                                     expose_modules=[small_resnet.fc])
+        dists = prior.get_distributions(small_resnet)
+        assert set(dists) == {"fc.weight", "fc.bias"}
+
+    def test_hide_by_full_name(self, mlp):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide=["0.bias"])
+        assert "0.bias" not in prior.get_distributions(mlp)
+
+    def test_hide_by_parameter_name(self, mlp):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide_parameters=["bias"])
+        dists = prior.get_distributions(mlp)
+        assert set(dists) == {"0.weight", "2.weight"}
+
+    def test_expose_all_and_hide_all_conflict(self):
+        with pytest.raises(ValueError):
+            tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=True, hide_all=True)
+
+    def test_hide_all_with_explicit_expose(self, mlp):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=False, hide_all=True,
+                                     expose=["2.weight"])
+        assert set(prior.get_distributions(mlp)) == {"2.weight"}
+
+    def test_hidden_parameters_complement(self, small_resnet):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide_module_types=[nn.BatchNorm2d])
+        exposed = set(prior.get_distributions(small_resnet))
+        hidden = {name for name, _ in prior.hidden_parameters(small_resnet)}
+        all_names = {name for name, _ in small_resnet.named_parameters()}
+        assert exposed | hidden == all_names
+        assert exposed & hidden == set()
+
+
+class TestLayerwiseNormalPrior:
+    @pytest.mark.parametrize("method,expected_scale", [
+        ("radford", 1 / np.sqrt(3)),
+        ("kaiming", np.sqrt(2 / 3)),
+        ("xavier", np.sqrt(2 / 11)),
+    ])
+    def test_weight_scale_follows_fan_in(self, mlp, method, expected_scale):
+        prior = tyxe.priors.LayerwiseNormalPrior(method=method)
+        d = prior.get_distributions(mlp)["0.weight"]
+        base = d.base_dist if isinstance(d, dist.Independent) else d
+        np.testing.assert_allclose(base.scale.data, expected_scale, rtol=1e-10)
+
+    def test_bias_gets_unit_scale(self, mlp):
+        prior = tyxe.priors.LayerwiseNormalPrior()
+        d = prior.get_distributions(mlp)["0.bias"]
+        base = d.base_dist if isinstance(d, dist.Independent) else d
+        np.testing.assert_allclose(base.scale.data, 1.0)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            tyxe.priors.LayerwiseNormalPrior(method="lecun")
+
+
+class TestDictAndLambdaPriors:
+    def test_dict_prior_only_exposes_listed_sites(self, mlp):
+        custom = {"0.weight": dist.Normal(np.zeros((8, 3)), np.ones((8, 3))).to_event(2)}
+        prior = tyxe.priors.DictPrior(custom)
+        dists = prior.get_distributions(mlp)
+        assert set(dists) == {"0.weight"}
+        assert dists["0.weight"] is custom["0.weight"]
+
+    def test_dict_prior_update(self, mlp):
+        prior = tyxe.priors.DictPrior({"0.weight": dist.Normal(np.zeros((8, 3)),
+                                                               np.ones((8, 3))).to_event(2)})
+        new_dist = dist.Normal(np.zeros((2, 8)), np.full((2, 8), 0.5)).to_event(2)
+        prior.update({"2.weight": new_dist})
+        assert "2.weight" in prior.get_distributions(mlp)
+
+    def test_lambda_prior_receives_parameter(self, mlp):
+        def fn(name, module, parameter):
+            return dist.Normal(np.zeros(parameter.shape),
+                               np.full(parameter.shape, 0.1)).to_event(parameter.ndim)
+
+        prior = tyxe.priors.LambdaPrior(fn)
+        d = prior.get_distributions(mlp)["2.weight"]
+        assert d.event_shape == (2, 8)
+
+    def test_base_prior_update_not_supported(self):
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        with pytest.raises(NotImplementedError):
+            prior.update({})

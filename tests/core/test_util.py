@@ -1,0 +1,53 @@
+"""Tests for ``repro.core.util`` helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+import repro.core as tyxe
+from repro.core.util import fan_in_fan_out, named_pyro_samples, pyro_sample_sites, to_numpy
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+
+
+@pytest.fixture
+def bnn(rng):
+    net = nn.Sequential(nn.Linear(2, 4, rng=rng), nn.ReLU(), nn.Linear(4, 1, rng=rng))
+    return tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                               tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                               tyxe.guides.AutoNormal)
+
+
+class TestPyroSampleSites:
+    def test_returns_all_bayesian_sites(self, bnn):
+        sites = pyro_sample_sites(bnn)
+        assert set(sites) == {"0.weight", "0.bias", "2.weight", "2.bias"}
+
+    def test_respects_prior_hiding(self, rng):
+        net = nn.Sequential(nn.Linear(2, 4, rng=rng), nn.ReLU(), nn.Linear(4, 1, rng=rng))
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), hide_parameters=["bias"])
+        bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.HomoskedasticGaussian(10, 0.1),
+                                  tyxe.guides.AutoNormal)
+        assert set(pyro_sample_sites(bnn)) == {"0.weight", "2.weight"}
+
+    def test_rejects_plain_objects(self):
+        with pytest.raises(TypeError):
+            pyro_sample_sites(object())
+
+    def test_named_pyro_samples_returns_distributions(self, bnn):
+        dists = named_pyro_samples(bnn)
+        assert set(dists) == set(pyro_sample_sites(bnn))
+        for d in dists.values():
+            assert hasattr(d, "log_prob")
+
+
+class TestSmallHelpers:
+    def test_fan_in_fan_out(self):
+        assert fan_in_fan_out((8, 3)) == (3, 8)
+        assert fan_in_fan_out((16, 4, 3, 3)) == (36, 144)
+
+    def test_to_numpy_tensor_and_scalar(self):
+        arr = to_numpy(Tensor(np.array([1.0, 2.0])))
+        np.testing.assert_allclose(arr, [1.0, 2.0])
+        assert to_numpy(3.5) == pytest.approx(3.5)
+        np.testing.assert_allclose(to_numpy(np.ones(3)), 1.0)

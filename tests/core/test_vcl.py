@@ -1,0 +1,110 @@
+"""Tests for variational continual learning support."""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.core.vcl import VCLState, update_prior_to_posterior
+from repro.ppl import distributions as dist
+
+
+def _toy_task(rng, shift):
+    x = rng.standard_normal((40, 4)) + shift
+    y = (x[:, 0] > shift).astype(int)
+    return x, y
+
+
+@pytest.fixture
+def fitted_bnn(rng):
+    x, y = _toy_task(rng, 0.0)
+    net = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+    bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                              tyxe.likelihoods.Categorical(len(x)),
+                              partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+    loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=20, rng=rng)
+    bnn.fit(loader, ppl.optim.Adam({"lr": 3e-2}), 40)
+    return bnn
+
+
+class TestUpdatePriorToPosterior:
+    def test_listing6_roundtrip(self, fitted_bnn):
+        """Listing 6: sample sites -> detached posteriors -> DictPrior update."""
+        bayesian_weights = tyxe.util.pyro_sample_sites(fitted_bnn)
+        posteriors = fitted_bnn.net_guide.get_detached_distributions(bayesian_weights)
+        fitted_bnn.update_prior(tyxe.priors.DictPrior(posteriors))
+        assert isinstance(fitted_bnn.prior, tyxe.priors.DictPrior)
+        for name in bayesian_weights:
+            assert fitted_bnn.param_dists[name] is posteriors[name]
+
+    def test_helper_returns_posteriors(self, fitted_bnn):
+        posteriors = update_prior_to_posterior(fitted_bnn)
+        assert set(posteriors) == set(fitted_bnn.bayesian_sites())
+
+    def test_new_prior_matches_guide_statistics(self, fitted_bnn):
+        posteriors = update_prior_to_posterior(fitted_bnn)
+        guide_dist = fitted_bnn.net_guide.get_distribution("0.weight")
+        base_prior = posteriors["0.weight"]
+        base_prior = base_prior.base_dist if isinstance(base_prior, dist.Independent) else base_prior
+        base_guide = guide_dist.base_dist if isinstance(guide_dist, dist.Independent) else guide_dist
+        np.testing.assert_allclose(base_prior.loc.data, base_guide.loc.data)
+        np.testing.assert_allclose(base_prior.scale.data, base_guide.scale.data)
+
+    def test_posterior_prior_is_detached(self, fitted_bnn):
+        posteriors = update_prior_to_posterior(fitted_bnn)
+        for d in posteriors.values():
+            base = d.base_dist if isinstance(d, dist.Independent) else d
+            assert not base.loc.requires_grad
+            assert not base.scale.requires_grad
+
+    def test_training_continues_after_prior_update(self, fitted_bnn, rng):
+        update_prior_to_posterior(fitted_bnn)
+        x, y = _toy_task(rng, 0.0)
+        fitted_bnn.likelihood = tyxe.likelihoods.Categorical(len(x))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=20, rng=rng)
+        fitted_bnn.fit(loader, ppl.optim.Adam({"lr": 3e-2}), 20)
+        _, err = fitted_bnn.evaluate(x, y, num_predictions=8)
+        assert err <= 0.4
+
+    def test_regularization_towards_previous_posterior(self, fitted_bnn, rng):
+        """After the prior update, weights stay closer to the previous posterior
+        means than they would under the original N(0,1) prior when trained on
+        disjoint data."""
+        old_means = fitted_bnn.net_guide.get_distribution("0.weight")
+        old_means = (old_means.base_dist if isinstance(old_means, dist.Independent)
+                     else old_means).loc.data.copy()
+        update_prior_to_posterior(fitted_bnn)
+        x, y = _toy_task(rng, 3.0)
+        fitted_bnn.likelihood = tyxe.likelihoods.Categorical(len(x))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=20, rng=rng)
+        fitted_bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 5)
+        new_means = fitted_bnn.net_guide.get_distribution("0.weight")
+        new_means = (new_means.base_dist if isinstance(new_means, dist.Independent)
+                     else new_means).loc.data
+        # posterior variances after the first task are tiny, so the drift must be small
+        assert np.abs(new_means - old_means).mean() < 0.5
+
+
+class TestVCLState:
+    def test_records_and_mean_accuracy(self):
+        state = VCLState(3)
+        state.record(0, [0.9])
+        state.record(1, [0.8, 0.95])
+        assert state.mean_accuracy(0) == pytest.approx(0.9)
+        assert state.mean_accuracy(1) == pytest.approx(0.875)
+        assert state.mean_accuracies() == pytest.approx([0.9, 0.875])
+
+    def test_forgetting_measures_drop(self):
+        state = VCLState(2)
+        state.record(0, [1.0])
+        state.record(1, [0.6, 0.9])
+        assert state.forgetting() == pytest.approx(0.4)
+
+    def test_forgetting_zero_when_no_history(self):
+        assert VCLState(2).forgetting() == 0.0
+
+    def test_accuracy_matrix_shape(self):
+        state = VCLState(4)
+        assert state.accuracy_matrix.shape == (4, 4)

@@ -1,0 +1,144 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (foong_regression, make_citation_graph, make_image_classification_data,
+                            make_ood_images, make_split_cifar_like, make_split_mnist_like,
+                            make_split_tasks, regression_grid, true_function)
+
+
+class TestRegressionData:
+    def test_shapes_and_clusters(self):
+        x, y = foong_regression(n_per_cluster=30, seed=0)
+        assert x.shape == (60, 1) and y.shape == (60, 1)
+        assert np.all((x[:30] >= -1.0) & (x[:30] <= -0.7))
+        assert np.all((x[30:] >= 0.5) & (x[30:] <= 1.0))
+
+    def test_targets_follow_cosine(self):
+        x, y = foong_regression(n_per_cluster=200, noise_scale=0.01, seed=1)
+        np.testing.assert_allclose(y, true_function(x), atol=0.05)
+
+    def test_reproducible_with_seed(self):
+        x1, y1 = foong_regression(seed=3)
+        x2, y2 = foong_regression(seed=3)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_grid_covers_gap(self):
+        grid = regression_grid(-1.5, 1.5, 100)
+        assert grid.shape == (100, 1)
+        assert grid.min() == -1.5 and grid.max() == 1.5
+
+
+class TestImageData:
+    def test_shapes_and_balance(self):
+        data = make_image_classification_data(num_classes=4, image_size=6, channels=3,
+                                               train_per_class=10, test_per_class=5, seed=0)
+        assert data.train_images.shape == (40, 3, 6, 6)
+        assert data.test_images.shape == (20, 3, 6, 6)
+        assert data.num_classes == 4
+        counts = np.bincount(data.train_labels, minlength=4)
+        np.testing.assert_array_equal(counts, 10)
+
+    def test_classes_are_distinguishable(self):
+        """A nearest-template classifier should beat chance by a wide margin."""
+        data = make_image_classification_data(num_classes=4, image_size=8, channels=1,
+                                               train_per_class=20, test_per_class=20,
+                                               noise_scale=0.5, seed=1)
+        flat_templates = data.templates.reshape(4, -1)
+        flat_test = data.test_images.reshape(len(data.test_images), -1)
+        distances = ((flat_test[:, None, :] - flat_templates[None]) ** 2).sum(-1)
+        accuracy = (distances.argmin(1) == data.test_labels).mean()
+        assert accuracy > 0.6
+
+    def test_ood_images_differ_from_templates(self):
+        data = make_image_classification_data(num_classes=4, image_size=6, seed=0)
+        ood = make_ood_images(30, image_size=6, channels=3, seed=1000, num_classes=4)
+        assert ood.shape == (30, 3, 6, 6)
+        # OOD images are not centred on the in-distribution templates
+        flat_templates = data.templates.reshape(4, -1)
+        flat_ood = ood.reshape(30, -1)
+        distances = ((flat_ood[:, None, :] - flat_templates[None]) ** 2).sum(-1).min(1)
+        flat_test = data.test_images.reshape(len(data.test_images), -1)
+        test_distances = ((flat_test[:, None, :] - flat_templates[None]) ** 2).sum(-1).min(1)
+        assert distances.mean() > test_distances.mean()
+
+    def test_seed_controls_generation(self):
+        d1 = make_image_classification_data(seed=5, num_classes=3, train_per_class=4,
+                                            test_per_class=2)
+        d2 = make_image_classification_data(seed=5, num_classes=3, train_per_class=4,
+                                            test_per_class=2)
+        np.testing.assert_array_equal(d1.train_images, d2.train_images)
+
+
+class TestCitationGraph:
+    def test_structure_and_split(self):
+        data = make_citation_graph(num_nodes=100, num_classes=4, train_per_class=5,
+                                   val_per_class=5, seed=0)
+        assert data.graph.num_nodes == 100
+        assert data.features.shape[0] == 100
+        assert data.num_classes == 4
+        assert data.train_mask.sum() == 20
+        assert data.val_mask.sum() == 20
+        assert not np.any(data.train_mask & data.val_mask)
+        assert not np.any(data.train_mask & data.test_mask)
+        assert (data.train_mask | data.val_mask | data.test_mask).all()
+
+    def test_homophily(self):
+        """Nodes of the same class connect more often (the SBM property GCNs exploit)."""
+        data = make_citation_graph(num_nodes=200, num_classes=3, p_in=0.1, p_out=0.005, seed=1)
+        adjacency = data.graph.adjacency
+        same = data.labels[:, None] == data.labels[None, :]
+        intra = adjacency[same].mean()
+        inter = adjacency[~same].mean()
+        assert intra > 3 * inter
+
+    def test_features_correlate_with_labels(self):
+        data = make_citation_graph(num_nodes=300, num_classes=4, feature_noise=0.5, seed=2)
+        class_mean_signal = np.array([
+            data.features[data.labels == k, k].mean() for k in range(4)
+        ])
+        assert np.all(class_mean_signal > 0.5)
+
+    def test_reproducibility(self):
+        d1 = make_citation_graph(seed=7)
+        d2 = make_citation_graph(seed=7)
+        np.testing.assert_array_equal(d1.graph.adjacency, d2.graph.adjacency)
+        np.testing.assert_array_equal(d1.labels, d2.labels)
+
+
+class TestContinualTasks:
+    def test_split_mnist_like_structure(self):
+        tasks = make_split_mnist_like(num_tasks=5, train_per_class=10, test_per_class=5)
+        assert len(tasks) == 5
+        for task in tasks:
+            assert task.num_classes == 2
+            assert set(np.unique(task.train_labels)) <= {0, 1}
+            assert task.train_inputs.ndim == 2  # flattened for the MLP
+
+    def test_split_cifar_like_structure(self):
+        tasks = make_split_cifar_like(num_tasks=3, train_per_class=8, test_per_class=4)
+        assert len(tasks) == 3
+        assert tasks[0].train_inputs.ndim == 4  # NCHW images for the conv net
+
+    def test_tasks_use_disjoint_classes(self):
+        tasks = make_split_mnist_like(num_tasks=3, train_per_class=5, test_per_class=5)
+        class_sets = [set(task.classes) for task in tasks]
+        for i in range(len(class_sets)):
+            for j in range(i + 1, len(class_sets)):
+                assert class_sets[i].isdisjoint(class_sets[j])
+
+    def test_make_split_tasks_relabels(self):
+        images = np.zeros((8, 4))
+        labels = np.array([2, 2, 3, 3, 4, 4, 5, 5])
+        tasks = make_split_tasks(images, labels, images, labels, classes_per_task=2)
+        assert len(tasks) == 2
+        assert set(np.unique(tasks[0].train_labels)) == {0, 1}
+        assert tasks[0].classes == (2, 3)
+
+    def test_incomplete_final_task_dropped(self):
+        images = np.zeros((6, 4))
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        tasks = make_split_tasks(images, labels, images, labels, classes_per_task=2)
+        assert len(tasks) == 1

@@ -1,0 +1,96 @@
+"""Unit-level tests for experiment-harness components (configs, result containers,
+formatting helpers and the multi-head network used by the VCL experiment)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.continual import ContinualConfig, MultiHeadNet
+from repro.experiments.gnn_classification import GNNConfig, GNNMethodResult, _aggregate
+from repro.experiments.image_classification import (ALL_METHODS, ImageClassificationConfig,
+                                                    MethodResult, table1_rows)
+from repro.experiments.nerf import NeRFConfig
+from repro.experiments.regression import RegressionConfig, RegressionResult
+from repro.nn.tensor import Tensor
+
+
+class TestConfigs:
+    def test_fast_presets_are_smaller(self):
+        assert ImageClassificationConfig.fast().ml_epochs < ImageClassificationConfig().ml_epochs
+        assert GNNConfig.fast().num_runs < GNNConfig().num_runs
+        assert NeRFConfig.fast().det_iterations < NeRFConfig().det_iterations
+        assert ContinualConfig.fast("mnist").num_tasks <= ContinualConfig().num_tasks
+
+    def test_continual_fast_suite_propagates(self):
+        assert ContinualConfig.fast("cifar").suite == "cifar"
+
+    def test_image_config_default_methods_are_known(self):
+        assert set(ALL_METHODS) == {"ml", "map", "mf_sd_only", "mf", "ll_mf", "ll_lowrank"}
+
+
+class TestResultContainers:
+    def test_method_result_row(self):
+        result = MethodResult("mf", nll=0.2, accuracy=0.9, ece=0.01, ood_auroc=0.95)
+        row = result.row()
+        assert row == {"method": "mf", "nll": 0.2, "accuracy": 0.9, "ece": 0.01,
+                       "ood_auroc": 0.95}
+
+    def test_table1_rows_keeps_canonical_order(self):
+        results = {
+            "mf": MethodResult("mf", 0.2, 0.9, 0.01, 0.9),
+            "ml": MethodResult("ml", 0.4, 0.92, 0.08, 0.8),
+        }
+        rows = table1_rows(results)
+        assert [r["method"] for r in rows] == ["ml", "mf"]
+
+    def test_regression_result_summary(self):
+        result = RegressionResult(method="hmc", x_grid=np.zeros((5, 1)),
+                                  predictive_mean=np.zeros(5), predictive_std=np.ones(5),
+                                  train_log_likelihood=1.0, train_squared_error=0.01,
+                                  in_between_std=0.2, on_data_std=0.1)
+        summary = result.summary()
+        assert summary["method"] == "hmc"
+        assert summary["in_between_std"] == 0.2
+
+    def test_gnn_aggregate_statistics(self):
+        runs = [{"nll": 1.0, "accuracy": 0.8, "ece": 0.1},
+                {"nll": 2.0, "accuracy": 0.9, "ece": 0.2}]
+        agg = _aggregate("ml", runs)
+        assert agg.nll_mean == pytest.approx(1.5)
+        assert agg.accuracy_mean == pytest.approx(0.85)
+        # two standard errors of [1, 2] with ddof=1: 2 * (std/sqrt(2)) = 1.0
+        assert agg.nll_two_se == pytest.approx(1.0)
+        assert agg.row()["method"] == "ml"
+
+    def test_gnn_aggregate_single_run_has_zero_se(self):
+        agg = _aggregate("mf", [{"nll": 1.0, "accuracy": 0.8, "ece": 0.1}])
+        assert agg.nll_two_se == 0.0
+
+
+class TestMultiHeadNet:
+    def _net(self, rng, num_heads):
+        body = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU())
+        return MultiHeadNet(body, 8, num_heads, 2, rng=rng)
+
+    def test_head_selection_changes_output(self, rng):
+        net = self._net(rng, num_heads=3)
+        x = Tensor(rng.standard_normal((2, 4)))
+        net.set_active_task(0)
+        out0 = net(x).data
+        net.set_active_task(2)
+        out2 = net(x).data
+        assert not np.allclose(out0, out2)
+
+    def test_single_head_maps_all_tasks_to_head_zero(self, rng):
+        net = self._net(rng, num_heads=1)
+        net.set_active_task(4)
+        assert net.active_task == 0
+
+    def test_all_head_parameters_registered(self, rng):
+        net = self._net(rng, num_heads=3)
+        head_params = [name for name, _ in net.named_parameters() if name.startswith("heads.")]
+        assert len(head_params) == 6  # weight + bias per head
+
+    def test_output_shape(self, rng):
+        net = self._net(rng, num_heads=2)
+        assert net(Tensor(rng.standard_normal((5, 4)))).shape == (5, 2)

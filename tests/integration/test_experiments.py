@@ -1,0 +1,131 @@
+"""Smoke tests for the per-table/figure experiment harnesses (fast configs).
+
+These confirm that every experiment the benchmark suite runs at full size can
+execute end to end and produces outputs of the right structure.  Qualitative
+(shape-of-result) assertions are kept loose because the fast configurations
+are deliberately tiny.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.continual import ContinualConfig, run_figure4, run_ml_baseline, run_vcl
+from repro.experiments.gnn_classification import (GNNConfig, run_gnn_comparison, table2_rows)
+from repro.experiments.image_classification import (ImageClassificationConfig, figure2_curves,
+                                                    run_inference_comparison, table1_rows)
+from repro.experiments.nerf import NeRFConfig, run_nerf_experiment
+from repro.experiments.regression import (RegressionConfig, run_hmc_regression,
+                                          run_variational_regression)
+from repro.datasets import make_image_classification_data
+
+
+@pytest.fixture(scope="module")
+def fast_regression_config():
+    return RegressionConfig(n_per_cluster=15, hidden_units=20, num_epochs=30,
+                            num_predictions=8, hmc_num_samples=10, hmc_warmup=10,
+                            hmc_num_steps=5)
+
+
+class TestRegressionExperiment:
+    def test_variational_run_structure(self, fast_regression_config):
+        result = run_variational_regression(fast_regression_config)
+        assert result.method == "local_reparameterization"
+        assert result.predictive_mean.shape == result.predictive_std.shape
+        assert np.all(result.predictive_std > 0)
+        assert np.isfinite(result.train_log_likelihood)
+
+    def test_shared_sample_variant(self, fast_regression_config):
+        result = run_variational_regression(fast_regression_config, local_reparam_predict=False)
+        assert result.method == "shared_weight_samples"
+
+    def test_hmc_run_structure(self, fast_regression_config):
+        result = run_hmc_regression(fast_regression_config)
+        assert result.method == "hmc"
+        assert 0.0 <= result.extra["mean_accept_prob"] <= 1.0
+        assert result.summary()["in_between_std"] > 0
+
+
+class TestImageClassificationExperiment:
+    def test_fast_comparison_all_methods(self):
+        config = ImageClassificationConfig.fast()
+        results = run_inference_comparison(config)
+        assert set(results) == {"ml", "map", "mf_sd_only", "mf", "ll_mf", "ll_lowrank"}
+        rows = table1_rows(results)
+        assert len(rows) == 6
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert 0.0 <= row["ece"] <= 1.0
+            assert 0.0 <= row["ood_auroc"] <= 1.0
+            assert row["nll"] >= 0.0
+
+    def test_subset_of_methods(self):
+        config = ImageClassificationConfig.fast()
+        results = run_inference_comparison(config, methods=("ml", "mf"))
+        assert set(results) == {"ml", "mf"}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            run_inference_comparison(ImageClassificationConfig.fast(), methods=("svi",))
+
+    def test_figure2_curves_structure(self):
+        config = ImageClassificationConfig.fast()
+        results = run_inference_comparison(config, methods=("ml", "mf"))
+        data = make_image_classification_data(
+            num_classes=config.num_classes, image_size=config.image_size,
+            channels=config.channels, train_per_class=config.train_per_class,
+            test_per_class=config.test_per_class, noise_scale=config.noise_scale,
+            seed=config.seed)
+        curves = figure2_curves(results, labels=data.test_labels)
+        for method in ("ml", "mf"):
+            entry = curves[method]
+            assert np.all(np.diff(entry["test_entropy_cdf"]) >= -1e-12)
+            assert entry["bin_confidence"].shape == (10,)
+
+
+class TestGNNExperiment:
+    def test_fast_comparison(self):
+        results = run_gnn_comparison(GNNConfig.fast())
+        rows = table2_rows(results)
+        assert [r["method"] for r in rows] == ["ml", "map", "mf"]
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert row["nll"] > 0.0
+            assert row["accuracy_2se"] >= 0.0
+
+    def test_method_subset_and_validation(self):
+        results = run_gnn_comparison(GNNConfig.fast(), methods=("ml",))
+        assert set(results) == {"ml"}
+        with pytest.raises(ValueError):
+            run_gnn_comparison(GNNConfig.fast(), methods=("hmc",))
+
+
+class TestNeRFExperiment:
+    def test_fast_run_structure(self):
+        result = run_nerf_experiment(NeRFConfig.fast())
+        summary = result.summary()
+        for key, value in summary.items():
+            assert np.isfinite(value), key
+        assert result.train_uncertainty > 0
+        assert result.heldout_uncertainty > 0
+        assert len(result.extra["uncertainty_maps_heldout"]) == 3
+
+
+class TestContinualExperiment:
+    def test_vcl_and_ml_runs(self):
+        config = ContinualConfig.fast("mnist")
+        vcl = run_vcl(config)
+        ml = run_ml_baseline(config)
+        assert len(vcl.mean_accuracies) == config.num_tasks
+        assert len(ml.mean_accuracies) == config.num_tasks
+        assert all(0.0 <= a <= 1.0 for a in vcl.mean_accuracies)
+        assert vcl.accuracy_matrix.shape == (config.num_tasks, config.num_tasks)
+
+    def test_cifar_suite_runs(self):
+        config = ContinualConfig.fast("cifar")
+        result = run_ml_baseline(config)
+        assert result.suite == "cifar"
+        assert len(result.mean_accuracies) == config.num_tasks
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            run_vcl(ContinualConfig(suite="imagenet"))

@@ -1,0 +1,167 @@
+"""Integration tests reproducing the paper's code listings end to end.
+
+Each test is a near-verbatim translation of one of the listings (1-6) from
+the paper to this package's API — the central claim of the paper is that
+these workflows require only a handful of lines, so these tests double as
+API-parity checks.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+
+
+class TestListing1And2Regression:
+    """Listings 1-2: five-line BNN setup, fit under local reparameterization, predict."""
+
+    def test_full_workflow(self, rng):
+        x = np.concatenate([rng.uniform(-1, -0.7, (20, 1)), rng.uniform(0.5, 1, (20, 1))])
+        y = np.cos(4 * x + 0.8) + rng.normal(0, 0.1, x.shape)
+        dataset_size = len(x)
+
+        # Listing 1
+        net = nn.Sequential(nn.Linear(1, 50, rng=rng), nn.Tanh(), nn.Linear(50, 1, rng=rng))
+        likelihood = tyxe.likelihoods.HomoskedasticGaussian(dataset_size, scale=0.1)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        guide_factory = tyxe.guides.AutoNormal
+        bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+
+        # Listing 2
+        optim = ppl.optim.Adam({"lr": 1e-2})
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=20, shuffle=True, rng=rng)
+        with tyxe.poutine.local_reparameterization():
+            bnn.fit(loader, optim, 10)
+        pred_params = bnn.predict(x, num_predictions=8)
+        assert pred_params.shape == (40, 1)
+
+    def test_mcmc_variant(self, rng):
+        """The footnote of Listing 1: guide_factory = HMC and a MCMC_BNN."""
+        x = rng.uniform(-1, 1, (20, 1))
+        y = np.cos(4 * x + 0.8) + rng.normal(0, 0.1, x.shape)
+        net = nn.Sequential(nn.Linear(1, 10, rng=rng), nn.Tanh(), nn.Linear(10, 1, rng=rng))
+        likelihood = tyxe.likelihoods.HomoskedasticGaussian(len(x), scale=0.1)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        guide_factory = partial(ppl.infer.HMC, step_size=1e-3, num_steps=3)
+        bnn = tyxe.MCMC_BNN(net, prior, likelihood, guide_factory)
+        bnn.fit((x, y), num_samples=5, warmup_steps=5)
+        assert bnn.predict(x, num_predictions=3).shape == (20, 1)
+
+
+class TestListing3BayesianResNet:
+    """Listing 3: pretrained ResNet, BatchNorm excluded, pretrained-init guide,
+    and the last-layer prior / low-rank guide variants."""
+
+    def test_full_resnet_workflow(self, rng):
+        resnet = nn.models.resnet8(num_classes=4, base_width=4, rng=rng)  # "pretrained" net
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=True,
+                                     hide_module_types=[nn.BatchNorm2d])
+        likelihood = tyxe.likelihoods.Categorical(dataset_size=24)
+        guide = partial(tyxe.guides.AutoNormal, train_loc=False, init_scale=1e-4,
+                        init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(resnet))
+        bayesian_resnet = tyxe.VariationalBNN(resnet, prior, likelihood, guide)
+
+        x = rng.standard_normal((24, 3, 8, 8))
+        y = rng.integers(0, 4, 24)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=12, rng=rng)
+        with tyxe.poutine.local_reparameterization():
+            bayesian_resnet.fit(loader, ppl.optim.Adam({"lr": 1e-3}), 2)
+        probs = bayesian_resnet.predict(x[:6], num_predictions=4)
+        assert probs.shape == (6, 4)
+        # BatchNorm parameters stayed deterministic
+        assert not any("bn" in s for s in bayesian_resnet.bayesian_sites())
+
+    def test_last_layer_prior_and_lowrank_guide(self, rng):
+        resnet = nn.models.resnet8(num_classes=4, base_width=4, rng=rng)
+        ll_prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=False,
+                                        expose_modules=[resnet.fc])
+        lr_guide = partial(tyxe.guides.AutoLowRankMultivariateNormal, rank=2)
+        likelihood = tyxe.likelihoods.Categorical(dataset_size=12)
+        bnn = tyxe.VariationalBNN(resnet, ll_prior, likelihood, lr_guide)
+        assert set(bnn.bayesian_sites()) == {"fc.weight", "fc.bias"}
+        x = rng.standard_normal((12, 3, 8, 8))
+        y = rng.integers(0, 4, 12)
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=12, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-3}), 2)
+        assert bnn.predict(x[:4], num_predictions=3).shape == (4, 4)
+
+
+class TestListing4BayesianGNN:
+    """Listing 4: GCN forward over (graph, features), selective_mask over labels."""
+
+    def test_full_gnn_workflow(self, rng):
+        from repro.datasets import make_citation_graph
+        from repro.gnn import two_layer_gcn
+
+        data = make_citation_graph(num_nodes=50, num_classes=3, feature_dim=8,
+                                   train_per_class=4, val_per_class=4, seed=0)
+        gnn = two_layer_gcn(data.num_features, 8, data.num_classes, rng=rng)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        likelihood = tyxe.likelihoods.Categorical(dataset_size=data.graph.num_nodes)
+        guide = partial(tyxe.guides.AutoNormal, init_scale=1e-2)
+        bgnn = tyxe.VariationalBNN(gnn, prior, likelihood, guide)
+
+        graph, x, y = data.graph, Tensor(data.features), Tensor(data.labels)
+        mask = data.train_mask.astype(np.float64)
+        optim = ppl.optim.Adam({"lr": 1e-2})
+        with tyxe.poutine.selective_mask(mask=mask, expose=["likelihood.data"]):
+            bgnn.fit([((graph, x), y)], optim, 5)
+        probs = bgnn.predict((graph, x), num_predictions=4)
+        assert probs.shape == (50, 3)
+
+
+class TestListing5BayesianNeRF:
+    """Listing 5: PytorchBNN as a drop-in field for the volumetric renderer,
+    trained with a plain optimizer and the cached KL as a regularizer."""
+
+    def test_full_nerf_workflow(self, rng):
+        from repro.render import VolumetricRenderer, make_nerf_field, two_sphere_field
+
+        renderer = VolumetricRenderer(image_size=6, num_samples_per_ray=6)
+        target_image, target_silhouette = renderer(30.0, two_sphere_field)
+
+        nerf_net = make_nerf_field(hidden=16, depth=2, rng=rng)
+        prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+        guide = partial(tyxe.guides.AutoNormal, init_scale=1e-2)
+        nerf_bnn = tyxe.PytorchBNN(nerf_net, prior, guide)
+
+        dummy_points = Tensor(np.zeros((4, 3)))
+        optim = nn.Adam(nerf_bnn.pytorch_parameters(dummy_points), lr=1e-3)
+        losses = []
+        for _ in range(10):
+            optim.zero_grad()
+            image, silhouette = renderer(30.0, nerf_bnn)
+            image_loss = F.mse_loss(image, target_image) + F.mse_loss(silhouette, target_silhouette)
+            loss = image_loss + 1e-5 * nerf_bnn.cached_kl_loss
+            loss.backward()
+            optim.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestListing6VariationalContinualLearning:
+    """Listing 6: turn the current posterior into the prior for the next task."""
+
+    def test_prior_update_roundtrip(self, rng):
+        x = rng.standard_normal((30, 4))
+        y = (x[:, 0] > 0).astype(int)
+        net = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(len(x)),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=15, rng=rng)
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 5)
+
+        bayesian_weights = tyxe.util.pyro_sample_sites(bnn)
+        posteriors = bnn.net_guide.get_detached_distributions(bayesian_weights)
+        bnn.update_prior(tyxe.priors.DictPrior(posteriors))
+
+        # training continues against the new prior
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), 2)
+        assert isinstance(bnn.prior, tyxe.priors.DictPrior)

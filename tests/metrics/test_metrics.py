@@ -1,0 +1,133 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro import metrics
+from repro.nn.tensor import Tensor
+
+
+class TestClassificationMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert metrics.accuracy(probs, np.array([0, 1])) == 1.0
+        assert metrics.accuracy(probs, np.array([1, 0])) == 0.0
+
+    def test_accuracy_from_logits(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert metrics.accuracy(logits, np.array([0, 1]), from_logits=True) == 1.0
+
+    def test_nll_matches_manual(self):
+        probs = np.array([[0.7, 0.3], [0.4, 0.6]])
+        labels = np.array([0, 1])
+        expected = -np.mean([np.log(0.7), np.log(0.6)])
+        assert metrics.nll(probs, labels) == pytest.approx(expected)
+
+    def test_nll_accepts_tensor(self):
+        probs = Tensor(np.array([[0.5, 0.5]]))
+        assert metrics.nll(probs, np.array([0])) == pytest.approx(np.log(2))
+
+    def test_brier_score_bounds(self):
+        perfect = np.array([[1.0, 0.0]])
+        worst = np.array([[0.0, 1.0]])
+        assert metrics.brier_score(perfect, np.array([0])) == pytest.approx(0.0)
+        assert metrics.brier_score(worst, np.array([0])) == pytest.approx(2.0)
+
+    def test_as_probs_normalizes(self):
+        raw = np.array([[2.0, 2.0]])
+        np.testing.assert_allclose(metrics.as_probs(raw), [[0.5, 0.5]])
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_predictor_has_zero_ece(self, rng):
+        # construct predictions whose confidence equals their accuracy per bin
+        n = 4000
+        confidences = rng.uniform(0.55, 0.95, n)
+        labels = (rng.random(n) < confidences).astype(int)
+        probs = np.stack([confidences, 1 - confidences], axis=1)
+        # label 0 means "the predicted (first) class is correct"
+        ece = metrics.expected_calibration_error(probs, 1 - labels)
+        assert ece < 0.05
+
+    def test_overconfident_predictor_has_high_ece(self, rng):
+        n = 1000
+        probs = np.tile(np.array([[0.99, 0.01]]), (n, 1))
+        labels = (rng.random(n) < 0.6).astype(int)  # only 60% of them are class 0
+        ece = metrics.expected_calibration_error(probs, 1 - labels)
+        assert ece > 0.3
+
+    def test_ece_bins_parameter(self, rng):
+        probs = rng.dirichlet(np.ones(3), size=50)
+        labels = rng.integers(0, 3, 50)
+        e10 = metrics.expected_calibration_error(probs, labels, num_bins=10)
+        e5 = metrics.expected_calibration_error(probs, labels, num_bins=5)
+        assert e10 >= 0 and e5 >= 0
+
+    def test_calibration_curve_outputs(self, rng):
+        probs = rng.dirichlet(np.ones(4), size=200)
+        labels = rng.integers(0, 4, 200)
+        conf, acc, count = metrics.calibration_curve(probs, labels, num_bins=10)
+        assert conf.shape == acc.shape == count.shape == (10,)
+        assert count.sum() == 200
+        valid = count > 0
+        assert np.all((acc[valid] >= 0) & (acc[valid] <= 1))
+
+    def test_empty_bins_are_nan(self):
+        probs = np.array([[0.99, 0.01]] * 10)
+        labels = np.zeros(10, dtype=int)
+        conf, acc, count = metrics.calibration_curve(probs, labels, num_bins=10)
+        assert np.isnan(conf[0])
+        assert count[-1] == 10
+
+
+class TestOOD:
+    def test_predictive_entropy(self):
+        uniform = np.array([[0.5, 0.5]])
+        confident = np.array([[0.99, 0.01]])
+        assert metrics.predictive_entropy(uniform)[0] == pytest.approx(np.log(2))
+        assert metrics.predictive_entropy(confident)[0] < 0.1
+
+    def test_auroc_perfect_and_random(self, rng):
+        pos = rng.normal(2.0, 0.1, 500)
+        neg = rng.normal(-2.0, 0.1, 500)
+        assert metrics.auroc(pos, neg) == pytest.approx(1.0)
+        same = rng.normal(0.0, 1.0, 2000)
+        assert metrics.auroc(same[:1000], same[1000:]) == pytest.approx(0.5, abs=0.05)
+
+    def test_auroc_handles_ties(self):
+        assert metrics.auroc(np.ones(10), np.ones(10)) == pytest.approx(0.5)
+
+    def test_ood_auroc_max_prob(self):
+        test_probs = np.array([[0.95, 0.05]] * 50)
+        ood_probs = np.array([[0.55, 0.45]] * 50)
+        assert metrics.ood_auroc_max_prob(test_probs, ood_probs) == pytest.approx(1.0)
+
+    def test_entropy_cdf_monotone(self, rng):
+        probs = rng.dirichlet(np.ones(5), size=100)
+        grid = np.linspace(0, np.log(5), 20)
+        cdf = metrics.entropy_cdf(probs, grid)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestRegressionMetrics:
+    def test_mse_rmse(self):
+        pred, target = np.array([1.0, 2.0]), np.array([0.0, 4.0])
+        assert metrics.mean_squared_error(pred, target) == pytest.approx(2.5)
+        assert metrics.root_mean_squared_error(pred, target) == pytest.approx(np.sqrt(2.5))
+
+    def test_gaussian_nll(self):
+        value = metrics.gaussian_nll(np.zeros(3), np.ones(3), np.zeros(3))
+        assert value == pytest.approx(0.5 * np.log(2 * np.pi))
+
+    def test_coverage(self, rng):
+        mean = np.zeros(2000)
+        std = np.ones(2000)
+        targets = rng.standard_normal(2000)
+        coverage = metrics.prediction_interval_coverage(mean, std, targets, num_std=2.0)
+        assert coverage == pytest.approx(0.95, abs=0.03)
+
+    def test_image_error_accepts_tensors(self, rng):
+        a = Tensor(rng.random((4, 4, 3)))
+        b = Tensor(rng.random((4, 4, 3)))
+        assert metrics.image_error(a, b) == pytest.approx(((a.data - b.data) ** 2).mean())

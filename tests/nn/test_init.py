@@ -1,0 +1,76 @@
+"""Unit tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.nn.tensor import Parameter
+
+
+class TestFanCalculation:
+    def test_linear_weight(self):
+        assert init.calculate_fan_in_and_fan_out((10, 5)) == (5, 10)
+
+    def test_conv_weight(self):
+        fan_in, fan_out = init.calculate_fan_in_and_fan_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_bias_shape(self):
+        assert init.calculate_fan_in_and_fan_out((7,)) == (7, 7)
+
+    def test_scalar_shape(self):
+        assert init.calculate_fan_in_and_fan_out(()) == (1, 1)
+
+
+class TestFanInScale:
+    def test_radford(self):
+        assert init.fan_in_scale((10, 4), "radford") == pytest.approx(0.5)
+
+    def test_kaiming(self):
+        assert init.fan_in_scale((10, 8), "kaiming") == pytest.approx(0.5)
+
+    def test_xavier(self):
+        assert init.fan_in_scale((6, 2), "xavier") == pytest.approx(0.5)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            init.fan_in_scale((4, 4), "glorot")
+
+
+class TestInitializers:
+    def test_constant_zeros_ones(self):
+        p = Parameter(np.empty((3, 3)))
+        init.zeros_(p)
+        assert np.all(p.data == 0)
+        init.ones_(p)
+        assert np.all(p.data == 1)
+        init.constant_(p, 0.3)
+        assert np.all(p.data == 0.3)
+
+    def test_normal_statistics(self, rng):
+        p = Parameter(np.empty(20000))
+        init.normal_(p, mean=1.0, std=2.0, rng=rng)
+        assert abs(p.data.mean() - 1.0) < 0.1
+        assert abs(p.data.std() - 2.0) < 0.1
+
+    def test_uniform_bounds(self, rng):
+        p = Parameter(np.empty(1000))
+        init.uniform_(p, -0.25, 0.25, rng=rng)
+        assert p.data.min() >= -0.25 and p.data.max() <= 0.25
+
+    def test_xavier_uniform_bounds(self, rng):
+        p = Parameter(np.empty((20, 30)))
+        init.xavier_uniform_(p, rng=rng)
+        bound = np.sqrt(6.0 / 50)
+        assert np.all(np.abs(p.data) <= bound)
+
+    @pytest.mark.parametrize("fn,expected_std", [
+        (init.radford_normal_, 1 / np.sqrt(100)),
+        (init.kaiming_normal_, np.sqrt(2 / 100)),
+        (init.xavier_normal_, np.sqrt(2 / 150)),
+    ])
+    def test_scaled_normals(self, fn, expected_std, rng):
+        p = Parameter(np.empty((50, 100)))
+        fn(p, rng=rng)
+        assert p.data.std() == pytest.approx(expected_std, rel=0.1)

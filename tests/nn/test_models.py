@@ -1,0 +1,99 @@
+"""Unit tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.models import (BasicBlock, ConvBlock, make_mlp, make_resnet, regression_net,
+                             resnet8, small_convnet, vcl_cifar_net, vcl_mnist_net)
+from repro.nn.tensor import Tensor
+
+
+class TestMLPs:
+    def test_make_mlp_structure(self, rng):
+        net = make_mlp(4, [8, 8], 2, activation="relu", rng=rng)
+        assert net(Tensor(rng.standard_normal((3, 4)))).shape == (3, 2)
+        assert len([p for p in net.parameters()]) == 6
+
+    def test_regression_net_is_paper_architecture(self, rng):
+        net = regression_net(50, rng=rng)
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+        assert net(Tensor(rng.standard_normal((5, 1)))).shape == (5, 1)
+
+    def test_vcl_mnist_net(self, rng):
+        net = vcl_mnist_net(64, 200, 10, rng=rng)
+        assert net(Tensor(rng.standard_normal((2, 64)))).shape == (2, 10)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            make_mlp(2, [4], 1, activation="swish")
+
+
+class TestConvNets:
+    def test_conv_block_halves_resolution(self, rng):
+        block = ConvBlock(3, 8, rng=rng)
+        assert block(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_vcl_cifar_net_forward(self, rng):
+        net = vcl_cifar_net(3, image_size=8, num_classes=10, rng=rng)
+        assert net(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 10)
+
+    def test_small_convnet_forward_backward(self, rng):
+        net = small_convnet(1, image_size=8, num_classes=4, rng=rng)
+        logits = net(Tensor(rng.standard_normal((3, 1, 8, 8))))
+        F.cross_entropy(logits, np.array([0, 1, 2])).backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestResNet:
+    def test_resnet8_output_shape(self, rng):
+        net = resnet8(num_classes=10, base_width=4, rng=rng)
+        assert net(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 10)
+
+    def test_make_resnet_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            make_resnet(9)
+
+    def test_deeper_resnet_has_more_blocks(self, rng):
+        net8 = make_resnet(8, base_width=4, rng=rng)
+        net14 = make_resnet(14, base_width=4, rng=rng)
+        assert len(list(net14.named_parameters())) > len(list(net8.named_parameters()))
+
+    def test_basic_block_identity_shortcut(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert block.downsample is None
+        assert block(Tensor(rng.standard_normal((1, 8, 4, 4)))).shape == (1, 8, 4, 4)
+
+    def test_basic_block_projection_shortcut(self, rng):
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        assert block.downsample is not None
+        assert block(Tensor(rng.standard_normal((1, 4, 8, 8)))).shape == (1, 8, 4, 4)
+
+    def test_resnet_has_batchnorm_and_fc(self, rng):
+        net = resnet8(rng=rng)
+        module_types = {type(m).__name__ for m in net.modules()}
+        assert "BatchNorm2d" in module_types
+        assert isinstance(net.fc, nn.Linear)
+
+    def test_resnet_backward_reaches_all_parameters(self, rng):
+        net = resnet8(num_classes=5, base_width=4, rng=rng)
+        logits = net(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        F.cross_entropy(logits, np.array([0, 1])).backward()
+        missing = [n for n, p in net.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_resnet_training_reduces_loss(self, rng):
+        net = resnet8(num_classes=3, base_width=4, rng=rng)
+        x = Tensor(rng.standard_normal((12, 3, 8, 8)))
+        y = np.array([0, 1, 2] * 4)
+        opt = nn.Adam(net.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(10):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,158 @@
+"""Unit tests for the Module system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Parameter, Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_registered_via_setattr(self):
+        layer = nn.Linear(3, 4)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert isinstance(names["weight"], Parameter)
+
+    def test_nested_module_parameter_names(self):
+        net = nn.Sequential(nn.Linear(2, 3), nn.Tanh(), nn.Linear(3, 1))
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_named_modules_includes_self_and_children(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "0" in names
+
+    def test_get_submodule_and_parameter(self):
+        net = nn.Sequential(nn.Linear(2, 3))
+        assert net.get_submodule("0") is net[0]
+        assert net.get_parameter("0.weight") is net[0].weight
+
+    def test_set_parameter_replaces_entry(self):
+        net = nn.Sequential(nn.Linear(2, 3))
+        replacement = Tensor(np.zeros((3, 2)))
+        net.set_parameter("0.weight", replacement)
+        assert net.get_parameter("0.weight") is replacement
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            nn.Linear(2, 2).nonexistent
+
+    def test_register_buffer(self):
+        bn = nn.BatchNorm2d(4)
+        buffers = dict(bn.named_buffers())
+        assert set(buffers) == {"running_mean", "running_var"}
+
+    def test_bias_false_registers_none(self):
+        layer = nn.Linear(3, 4, bias=False)
+        assert "bias" not in dict(layer.named_parameters())
+        out = layer(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 4)
+
+
+class TestTrainEvalAndState:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert not net.training and not net[1].training
+        net.train()
+        assert net.training and net[1].training
+
+    def test_state_dict_roundtrip(self, rng):
+        net1 = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        net2 = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        net2.load_state_dict(net1.state_dict())
+        for (_, p1), (_, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state and "weight" in state
+
+    def test_zero_grad(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        out = net(Tensor(rng.standard_normal((4, 3))))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_apply_visits_all_modules(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
+        visited = []
+        net.apply(lambda m: visited.append(type(m).__name__))
+        assert visited.count("Linear") == 2
+        assert "Sequential" in visited
+
+
+class TestLayers:
+    def test_linear_forward_shape(self, rng):
+        assert nn.Linear(5, 7, rng=rng)(Tensor(rng.standard_normal((3, 5)))).shape == (3, 7)
+
+    def test_conv_forward_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_batchnorm_training_vs_eval(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) + 3.0)
+        out_train = bn(x)
+        assert abs(out_train.data.mean()) < 1e-6
+        bn.eval()
+        out_eval = bn(x)
+        # eval output uses running statistics, which only partially absorbed the shift
+        assert abs(out_eval.data.mean()) > abs(out_train.data.mean())
+
+    def test_maxpool_avgpool_layers(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert nn.AvgPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert nn.AdaptiveAvgPool2d(1)(x).shape == (1, 2, 1, 1)
+
+    def test_flatten_layer(self, rng):
+        assert nn.Flatten()(Tensor(rng.standard_normal((2, 3, 4)))).shape == (2, 12)
+
+    def test_activation_layers(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert nn.ReLU()(x).data.tolist() == [0.0, 1.0]
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+        assert nn.Identity()(x) is x
+        assert nn.Softplus()(x).data[0] > 0
+
+    def test_dropout_respects_training_flag(self, rng):
+        drop = nn.Dropout(0.9)
+        x = Tensor(np.ones(100))
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_repr_smoke(self):
+        text = repr(nn.Sequential(nn.Linear(2, 2), nn.ReLU()))
+        assert "Linear" in text and "ReLU" in text
+
+
+class TestSequentialAndModuleList:
+    def test_sequential_indexing_and_len(self):
+        net = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        assert len(net) == 3
+        assert isinstance(net[1], nn.ReLU)
+        assert len(list(iter(net))) == 3
+
+    def test_sequential_append(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+
+    def test_sequential_forward_order(self, rng):
+        net = nn.Sequential(nn.Linear(3, 3, rng=rng), nn.ReLU())
+        out = net(Tensor(rng.standard_normal((2, 3))))
+        assert np.all(out.data >= 0)
+
+    def test_module_list(self, rng):
+        heads = nn.ModuleList([nn.Linear(4, 2, rng=rng) for _ in range(3)])
+        assert len(heads) == 3
+        assert heads[2](Tensor(rng.standard_normal((1, 4)))).shape == (1, 2)
+        # parameters of all list entries are registered
+        assert len(list(heads.parameters())) == 6

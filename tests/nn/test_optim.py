@@ -1,0 +1,132 @@
+"""Unit tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Parameter, Tensor
+
+
+def _quadratic_loss(params, targets):
+    loss = None
+    for p, t in zip(params, targets):
+        term = ((p - Tensor(t)) ** 2).sum()
+        loss = term if loss is None else loss + term
+    return loss
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss([p], [target]).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                ((p - 0.0) ** 2).sum().backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([2.0]))
+        opt = nn.SGD([p1, p2], lr=0.1)
+        (p1 ** 2).sum().backward()
+        opt.step()
+        assert p2.data[0] == 2.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0, 0.5]))
+        target = np.array([1.0, 2.0, -1.0])
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            _quadratic_loss([p], [target]).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_add_param_group(self):
+        p1 = Parameter(np.array([3.0]))
+        p2 = Parameter(np.array([4.0]))
+        opt = nn.Adam([p1], lr=0.1)
+        opt.add_param_group({"params": [p2]})
+        for _ in range(100):
+            opt.zero_grad()
+            _quadratic_loss([p1, p2], [np.zeros(1), np.zeros(1)]).backward()
+            opt.step()
+        assert abs(p1.data[0]) < 0.1 and abs(p2.data[0]) < 0.1
+
+    def test_trains_small_network(self, rng):
+        net = nn.models.make_mlp(2, [16], 1, rng=rng)
+        x = rng.standard_normal((64, 2))
+        y = (x[:, :1] * 2 - x[:, 1:] + 0.5)
+        opt = nn.Adam(net.parameters(), lr=1e-2)
+        first_loss, last_loss = None, None
+        for i in range(200):
+            opt.zero_grad()
+            loss = nn.functional.mse_loss(net(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+            if i == 0:
+                first_loss = loss.item()
+            last_loss = loss.item()
+        assert last_loss < 0.1 * first_loss
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_set_get_lr(self):
+        opt = nn.Adam([Parameter(np.zeros(1))], lr=0.5)
+        assert opt.get_lr() == 0.5
+        opt.set_lr(0.1)
+        assert opt.get_lr() == 0.1
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.StepLR(opt, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert opt.get_lr() == pytest.approx(1.0)
+        scheduler.step()
+        assert opt.get_lr() == pytest.approx(0.1)
+        scheduler.step()
+        scheduler.step()
+        assert opt.get_lr() == pytest.approx(0.01)
+
+    def test_exponential_lr(self):
+        opt = nn.Adam([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.ExponentialLR(opt, gamma=0.5)
+        scheduler.step()
+        assert opt.get_lr() == pytest.approx(0.5)
+        scheduler.step()
+        assert opt.get_lr() == pytest.approx(0.25)

@@ -1,0 +1,295 @@
+"""Unit tests for the distribution library."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import ppl
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+
+
+class TestNormal:
+    def test_log_prob_matches_scipy(self, rng):
+        loc, scale = 0.5, 2.0
+        values = rng.standard_normal(10)
+        ours = dist.Normal(loc, scale).log_prob(values).data
+        np.testing.assert_allclose(ours, stats.norm.logpdf(values, loc, scale), rtol=1e-10)
+
+    def test_rsample_statistics(self):
+        d = dist.Normal(3.0, 0.5)
+        samples = d.rsample((20000,)).data
+        assert abs(samples.mean() - 3.0) < 0.02
+        assert abs(samples.std() - 0.5) < 0.02
+
+    def test_rsample_gradient_flows_to_params(self):
+        loc = Tensor(np.zeros(3), requires_grad=True)
+        scale = Tensor(np.ones(3), requires_grad=True)
+        d = dist.Normal(loc, scale)
+        d.rsample().sum().backward()
+        assert loc.grad is not None and scale.grad is not None
+        np.testing.assert_allclose(loc.grad, 1.0)
+
+    def test_batch_shape_broadcasting(self):
+        d = dist.Normal(np.zeros((3, 1)), np.ones(4))
+        assert d.batch_shape == (3, 4)
+        assert d.rsample().shape == (3, 4)
+
+    def test_cdf_and_entropy(self):
+        d = dist.Normal(0.0, 1.0)
+        assert d.cdf(0.0).item() == pytest.approx(0.5)
+        assert d.entropy().item() == pytest.approx(stats.norm.entropy(), rel=1e-10)
+
+    def test_mean_variance_stddev(self):
+        d = dist.Normal(2.0, 3.0)
+        assert d.mean.item() == 2.0
+        assert d.variance.item() == 9.0
+        assert d.stddev.item() == 3.0
+
+    def test_expand(self):
+        d = dist.Normal(0.0, 1.0).expand((2, 3))
+        assert d.batch_shape == (2, 3)
+
+    def test_to_event(self):
+        d = dist.Normal(np.zeros((4, 5)), 1.0).to_event(2)
+        assert d.batch_shape == ()
+        assert d.event_shape == (4, 5)
+        assert d.log_prob(np.zeros((4, 5))).shape == ()
+
+
+class TestLogNormalAndUniform:
+    def test_lognormal_log_prob(self, rng):
+        values = rng.uniform(0.5, 3.0, 10)
+        ours = dist.LogNormal(0.2, 0.7).log_prob(values).data
+        np.testing.assert_allclose(ours, stats.lognorm.logpdf(values, 0.7, scale=np.exp(0.2)),
+                                   rtol=1e-8)
+
+    def test_lognormal_samples_positive(self):
+        assert np.all(dist.LogNormal(0.0, 1.0).sample((100,)).data > 0)
+
+    def test_lognormal_mean(self):
+        assert dist.LogNormal(0.0, 0.5).mean.item() == pytest.approx(np.exp(0.125))
+
+    def test_uniform_log_prob_inside_outside(self):
+        d = dist.Uniform(-1.0, 1.0)
+        assert d.log_prob(0.0).item() == pytest.approx(np.log(0.5))
+        assert d.log_prob(2.0).item() == -np.inf
+
+    def test_uniform_sample_range(self):
+        samples = dist.Uniform(2.0, 3.0).sample((500,)).data
+        assert samples.min() >= 2.0 and samples.max() < 3.0
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            dist.Uniform(1.0, 1.0)
+
+    def test_uniform_entropy_mean_variance(self):
+        d = dist.Uniform(0.0, 2.0)
+        assert d.entropy().item() == pytest.approx(np.log(2.0))
+        assert d.mean.item() == 1.0
+        assert d.variance.item() == pytest.approx(4 / 12)
+
+
+class TestDelta:
+    def test_log_prob_at_point_and_elsewhere(self):
+        d = dist.Delta(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(d.log_prob(np.array([1.0, 2.0])).data, 0.0)
+        assert d.log_prob(np.array([1.0, 3.0])).data[1] == -np.inf
+
+    def test_event_dim_sums_log_prob(self):
+        d = dist.Delta(np.zeros((2, 3)), event_dim=2)
+        assert d.log_prob(np.zeros((2, 3))).shape == ()
+
+    def test_rsample_returns_value(self):
+        v = Tensor(np.array([4.0]), requires_grad=True)
+        d = dist.Delta(v)
+        assert d.rsample() is v
+        assert d.rsample((3,)).shape == (3, 1)
+
+    def test_mean_and_variance(self):
+        d = dist.Delta(np.array([2.0]))
+        assert d.mean.data[0] == 2.0
+        assert d.variance.data[0] == 0.0
+
+
+class TestCategorical:
+    def test_log_prob_matches_manual(self, rng):
+        logits = rng.standard_normal((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        d = dist.Categorical(logits=logits)
+        log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        np.testing.assert_allclose(d.log_prob(labels).data,
+                                   log_probs[np.arange(5), labels], rtol=1e-8)
+
+    def test_from_probs(self):
+        d = dist.Categorical(probs=np.array([0.2, 0.8]))
+        assert d.log_prob(np.array(1)).item() == pytest.approx(np.log(0.8))
+
+    def test_requires_exactly_one_parameterization(self):
+        with pytest.raises(ValueError):
+            dist.Categorical()
+        with pytest.raises(ValueError):
+            dist.Categorical(logits=np.zeros(3), probs=np.ones(3) / 3)
+
+    def test_sample_frequencies(self):
+        ppl.set_rng_seed(1)
+        d = dist.Categorical(probs=np.array([0.1, 0.6, 0.3]))
+        samples = d.sample((20000,)).data.astype(int)
+        freqs = np.bincount(samples, minlength=3) / 20000
+        np.testing.assert_allclose(freqs, [0.1, 0.6, 0.3], atol=0.02)
+
+    def test_entropy(self):
+        d = dist.Categorical(probs=np.array([0.5, 0.5]))
+        assert d.entropy().item() == pytest.approx(np.log(2))
+
+    def test_batch_sampling_shape(self, rng):
+        d = dist.Categorical(logits=rng.standard_normal((7, 3)))
+        assert d.sample().shape == (7,)
+        assert d.sample((4,)).shape == (4, 7)
+
+
+class TestBernoulliPoissonGamma:
+    def test_bernoulli_log_prob(self):
+        d = dist.Bernoulli(probs=np.array(0.7))
+        assert d.log_prob(np.array(1.0)).item() == pytest.approx(np.log(0.7))
+        assert d.log_prob(np.array(0.0)).item() == pytest.approx(np.log(0.3))
+
+    def test_bernoulli_sample_mean(self):
+        ppl.set_rng_seed(2)
+        samples = dist.Bernoulli(probs=np.array(0.3)).sample((20000,)).data
+        assert abs(samples.mean() - 0.3) < 0.02
+
+    def test_bernoulli_mean_variance_entropy(self):
+        d = dist.Bernoulli(probs=np.array(0.25))
+        assert d.mean.item() == pytest.approx(0.25)
+        assert d.variance.item() == pytest.approx(0.1875)
+        assert d.entropy().item() == pytest.approx(stats.bernoulli.entropy(0.25), rel=1e-8)
+
+    def test_poisson_log_prob_matches_scipy(self):
+        d = dist.Poisson(np.array(3.5))
+        for k in [0, 1, 5, 10]:
+            assert d.log_prob(np.array(float(k))).item() == pytest.approx(
+                stats.poisson.logpmf(k, 3.5), rel=1e-8)
+
+    def test_gamma_log_prob_matches_scipy(self, rng):
+        values = rng.uniform(0.5, 5.0, 10)
+        d = dist.Gamma(2.0, 1.5)
+        np.testing.assert_allclose(d.log_prob(values).data,
+                                   stats.gamma.logpdf(values, 2.0, scale=1 / 1.5), rtol=1e-8)
+
+    def test_gamma_mean_variance(self):
+        d = dist.Gamma(4.0, 2.0)
+        assert d.mean.item() == pytest.approx(2.0)
+        assert d.variance.item() == pytest.approx(1.0)
+
+
+class TestIndependent:
+    def test_log_prob_sums_event_dims(self, rng):
+        base = dist.Normal(np.zeros((3, 4)), np.ones((3, 4)))
+        d = dist.Independent(base, 1)
+        values = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(d.log_prob(values).data,
+                                   base.log_prob(values).data.sum(-1), rtol=1e-10)
+
+    def test_shapes(self):
+        d = dist.Normal(np.zeros((2, 3, 4)), 1.0).to_event(2)
+        assert d.batch_shape == (2,)
+        assert d.event_shape == (3, 4)
+
+    def test_nested_to_event(self):
+        d = dist.Normal(np.zeros((2, 3)), 1.0).to_event(1).to_event(1)
+        assert d.event_shape == (2, 3)
+
+    def test_rejects_too_many_dims(self):
+        with pytest.raises(ValueError):
+            dist.Independent(dist.Normal(np.zeros(3), 1.0), 2)
+
+    def test_has_rsample_delegates(self):
+        assert dist.Normal(np.zeros(3), 1.0).to_event(1).has_rsample
+        assert not dist.Categorical(logits=np.zeros((3, 2))).to_event(1).has_rsample
+
+
+class TestLowRankMultivariateNormal:
+    def _make(self, rng, d=6, k=2):
+        loc = rng.standard_normal(d)
+        factor = rng.standard_normal((d, k)) * 0.3
+        diag = rng.uniform(0.5, 1.5, d)
+        return dist.LowRankMultivariateNormal(loc, factor, diag), loc, factor, diag
+
+    def test_log_prob_matches_full_multivariate_normal(self, rng):
+        d, loc, factor, diag = self._make(rng)
+        cov = factor @ factor.T + np.diag(diag)
+        values = rng.standard_normal((5, 6))
+        expected = stats.multivariate_normal.logpdf(values, loc, cov)
+        np.testing.assert_allclose(d.log_prob(values).data, expected, rtol=1e-8)
+
+    def test_sample_covariance(self, rng):
+        ppl.set_rng_seed(3)
+        d, loc, factor, diag = self._make(rng)
+        samples = d.rsample((30000,)).data
+        cov = factor @ factor.T + np.diag(diag)
+        np.testing.assert_allclose(np.cov(samples.T), cov, atol=0.08)
+        np.testing.assert_allclose(samples.mean(0), loc, atol=0.05)
+
+    def test_entropy_matches_scipy(self, rng):
+        d, loc, factor, diag = self._make(rng)
+        cov = factor @ factor.T + np.diag(diag)
+        assert d.entropy().item() == pytest.approx(stats.multivariate_normal(loc, cov).entropy(),
+                                                   rel=1e-8)
+
+    def test_log_prob_gradient_flows(self, rng):
+        loc = Tensor(np.zeros(4), requires_grad=True)
+        factor = Tensor(rng.standard_normal((4, 2)) * 0.1, requires_grad=True)
+        diag = Tensor(np.ones(4), requires_grad=True)
+        d = dist.LowRankMultivariateNormal(loc, factor, diag)
+        d.log_prob(rng.standard_normal(4)).backward()
+        assert loc.grad is not None and factor.grad is not None and diag.grad is not None
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            dist.LowRankMultivariateNormal(np.zeros((2, 2)), np.zeros((2, 1)), np.ones(2))
+
+
+class TestKLDivergence:
+    def test_normal_normal_analytic(self):
+        p = dist.Normal(0.0, 1.0)
+        q = dist.Normal(1.0, 2.0)
+        expected = np.log(2.0) + (1.0 + 1.0) / (2 * 4.0) - 0.5
+        assert dist.kl_divergence(p, q).item() == pytest.approx(expected, rel=1e-10)
+
+    def test_kl_zero_for_identical(self):
+        p = dist.Normal(0.3, 0.7)
+        assert dist.kl_divergence(p, dist.Normal(0.3, 0.7)).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_monte_carlo_agreement(self):
+        ppl.set_rng_seed(4)
+        p = dist.Normal(0.5, 0.8)
+        q = dist.Normal(-0.2, 1.3)
+        samples = p.rsample((40000,))
+        mc = (p.log_prob(samples) - q.log_prob(samples)).data.mean()
+        assert dist.kl_divergence(p, q).item() == pytest.approx(mc, abs=0.02)
+
+    def test_independent_kl_sums(self):
+        p = dist.Normal(np.zeros(5), np.ones(5)).to_event(1)
+        q = dist.Normal(np.ones(5), np.ones(5)).to_event(1)
+        assert dist.kl_divergence(p, q).item() == pytest.approx(5 * 0.5, rel=1e-10)
+
+    def test_delta_kl_is_negative_log_prob(self):
+        p = dist.Delta(np.array(0.5))
+        q = dist.Normal(0.0, 1.0)
+        assert dist.kl_divergence(p, q).item() == pytest.approx(-q.log_prob(0.5).item())
+
+    def test_unregistered_pair_raises(self):
+        with pytest.raises(NotImplementedError):
+            dist.kl_divergence(dist.Normal(0.0, 1.0), dist.Gamma(1.0, 1.0))
+
+    def test_kl_gradient_flows(self):
+        loc = Tensor(np.array(0.5), requires_grad=True)
+        scale = Tensor(np.array(0.7), requires_grad=True)
+        dist.kl_divergence(dist.Normal(loc, scale), dist.Normal(0.0, 1.0)).backward()
+        assert loc.grad is not None and scale.grad is not None
+
+    def test_sum_rightmost(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        assert dist.sum_rightmost(x, 0) is x
+        assert dist.sum_rightmost(x, 2).shape == (2,)

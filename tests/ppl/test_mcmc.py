@@ -1,0 +1,134 @@
+"""Unit tests for HMC/NUTS and the MCMC driver."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+from repro.ppl import distributions as dist
+from repro.ppl.infer import HMC, MCMC, NUTS
+from repro.ppl.infer.mcmc import _LatentLayout
+
+
+def _gaussian_model(x):
+    mu = ppl.sample("mu", dist.Normal(0.0, 1.0))
+    with ppl.plate("data", len(x)):
+        ppl.sample("obs", dist.Normal(mu, 0.5), obs=x)
+
+
+def _true_posterior(x, lik_var=0.25):
+    post_var = 1.0 / (1.0 + len(x) / lik_var)
+    return post_var * x.sum() / lik_var, np.sqrt(post_var)
+
+
+class TestLatentLayout:
+    def test_flatten_unflatten_roundtrip(self, rng):
+        from collections import OrderedDict
+
+        layout = _LatentLayout(OrderedDict([("a", (2, 3)), ("b", ()), ("c", (4,))]))
+        assert layout.total_dim == 11
+        values = {"a": rng.standard_normal((2, 3)), "b": np.array(1.5),
+                  "c": rng.standard_normal(4)}
+        flat = layout.flatten(values)
+        recovered = layout.unflatten(flat)
+        np.testing.assert_allclose(recovered["a"], values["a"])
+        np.testing.assert_allclose(recovered["b"], values["b"])
+        np.testing.assert_allclose(recovered["c"], values["c"])
+
+
+class TestKernels:
+    def test_potential_matches_negative_log_joint(self):
+        x = np.array([0.5, 1.0])
+        kernel = HMC(_gaussian_model, step_size=0.1, num_steps=3)
+        z0 = kernel.setup(x)
+        potential, grad = kernel.potential_and_grad(np.array([0.0]))
+        expected = -(dist.Normal(0.0, 1.0).log_prob(np.array(0.0)).item()
+                     + dist.Normal(0.0, 0.5).log_prob(x).data.sum())
+        assert potential == pytest.approx(expected, rel=1e-8)
+        # gradient of the potential at mu=0: -(sum (x - mu)/0.25 - mu) = -(6.0)
+        assert grad[0] == pytest.approx(-(x.sum() / 0.25), rel=1e-6)
+        assert z0.shape == (1,)
+
+    def test_leapfrog_conserves_energy_for_small_steps(self):
+        x = np.array([0.5, 1.0])
+        kernel = HMC(_gaussian_model, step_size=1e-3, num_steps=1, adapt_step_size=False)
+        z = kernel.setup(x)
+        rng = np.random.default_rng(0)
+        r = rng.standard_normal(z.shape)
+        p0, grad = kernel.potential_and_grad(z)
+        h0 = p0 + kernel.kinetic(r)
+        z1, r1, p1, _ = kernel.leapfrog(z, r, grad, 1e-3)
+        h1 = p1 + kernel.kinetic(r1)
+        assert abs(h1 - h0) < 1e-4
+
+    def test_step_size_adaptation_moves_towards_target(self):
+        kernel = HMC(_gaussian_model, step_size=1.0)
+        kernel.setup(np.array([0.5]))
+        for _ in range(20):
+            kernel.adapt(accept_prob=0.1)  # too low -> step size should shrink
+        kernel.finalize_adaptation()
+        assert kernel.step_size < 1.0
+
+    def test_model_without_latents_raises(self):
+        def model():
+            ppl.sample("obs", dist.Normal(0.0, 1.0), obs=np.array(1.0))
+
+        with pytest.raises(ValueError):
+            HMC(model).setup()
+
+
+class TestMCMCDriver:
+    def test_hmc_recovers_gaussian_posterior(self):
+        x = np.random.default_rng(3).normal(1.5, 0.5, size=30)
+        kernel = HMC(_gaussian_model, step_size=0.05, num_steps=10)
+        mcmc = MCMC(kernel, num_samples=300, warmup_steps=150)
+        mcmc.run(x)
+        samples = mcmc.get_samples()["mu"]
+        post_mean, post_std = _true_posterior(x)
+        assert samples.mean() == pytest.approx(post_mean, abs=0.08)
+        assert samples.std() == pytest.approx(post_std, rel=0.5)
+
+    def test_nuts_recovers_gaussian_posterior(self):
+        x = np.random.default_rng(4).normal(-1.0, 0.5, size=30)
+        kernel = NUTS(_gaussian_model, step_size=0.1, max_tree_depth=5)
+        mcmc = MCMC(kernel, num_samples=300, warmup_steps=150)
+        mcmc.run(x)
+        samples = mcmc.get_samples()["mu"]
+        post_mean, post_std = _true_posterior(x)
+        assert samples.mean() == pytest.approx(post_mean, abs=0.08)
+
+    def test_multivariate_latents_sampled_with_correct_shapes(self):
+        def model(x):
+            w = ppl.sample("w", dist.Normal(np.zeros(3), np.ones(3)).to_event(1))
+            b = ppl.sample("b", dist.Normal(0.0, 1.0))
+            with ppl.plate("data", len(x)):
+                ppl.sample("obs", dist.Normal(w.sum() + b, 1.0), obs=x)
+
+        x = np.random.default_rng(5).normal(2.0, 1.0, size=20)
+        mcmc = MCMC(NUTS(model, step_size=0.1, max_tree_depth=4), num_samples=50, warmup_steps=50)
+        mcmc.run(x)
+        samples = mcmc.get_samples()
+        assert samples["w"].shape == (50, 3)
+        assert samples["b"].shape == (50,)
+
+    def test_diagnostics_and_summary(self):
+        x = np.random.default_rng(6).normal(0.5, 0.5, size=20)
+        mcmc = MCMC(HMC(_gaussian_model, step_size=0.05, num_steps=5), num_samples=50,
+                    warmup_steps=50)
+        mcmc.run(x)
+        assert len(mcmc.diagnostics) == 50
+        assert all(0.0 <= d["accept_prob"] <= 1.0 for d in mcmc.diagnostics)
+        summary = mcmc.summary()
+        assert "mean" in summary["mu"] and "std" in summary["mu"]
+
+    def test_get_samples_before_run_raises(self):
+        mcmc = MCMC(HMC(_gaussian_model), num_samples=10)
+        with pytest.raises(RuntimeError):
+            mcmc.get_samples()
+
+    def test_acceptance_rate_reasonable_after_adaptation(self):
+        x = np.random.default_rng(7).normal(1.0, 0.5, size=25)
+        mcmc = MCMC(HMC(_gaussian_model, step_size=0.5, num_steps=5), num_samples=100,
+                    warmup_steps=100)
+        mcmc.run(x)
+        mean_accept = np.mean([d["accept_prob"] for d in mcmc.diagnostics])
+        assert mean_accept > 0.4

@@ -1,0 +1,161 @@
+"""Unit tests for the parameter store and constraints."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+from repro.nn.tensor import Tensor
+from repro.ppl import constraints
+from repro.ppl.params import get_param_store
+
+
+class TestConstraints:
+    def test_real_is_identity(self):
+        t = Tensor(np.array([-1.0, 2.0]))
+        assert constraints.real.transform(t) is t
+        np.testing.assert_allclose(constraints.real.inv_transform(np.array([3.0])), [3.0])
+        assert constraints.real.check(np.array([1.0, -5.0]))
+
+    def test_positive_roundtrip(self):
+        values = np.array([0.01, 1.0, 5.0, 30.0])
+        unconstrained = constraints.positive.inv_transform(values)
+        recovered = constraints.positive.transform(Tensor(unconstrained)).data
+        np.testing.assert_allclose(recovered, values, rtol=1e-6)
+
+    def test_positive_rejects_nonpositive_init(self):
+        with pytest.raises(ValueError):
+            constraints.positive.inv_transform(np.array([-1.0]))
+
+    def test_positive_check(self):
+        assert constraints.positive.check(np.array([0.1]))
+        assert not constraints.positive.check(np.array([0.0]))
+
+    def test_interval_roundtrip(self):
+        c = constraints.interval(0.0, 0.5)
+        values = np.array([0.01, 0.25, 0.49])
+        recovered = c.transform(Tensor(c.inv_transform(values))).data
+        np.testing.assert_allclose(recovered, values, rtol=1e-5)
+
+    def test_interval_transform_stays_inside(self):
+        c = constraints.interval(-1.0, 1.0)
+        out = c.transform(Tensor(np.array([-100.0, 0.0, 100.0]))).data
+        assert np.all(out > -1.0) and np.all(out < 1.0)
+
+    def test_interval_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            constraints.interval(1.0, 1.0)
+
+    def test_transform_to_defaults_to_real(self):
+        assert constraints.transform_to(None) is constraints.real
+
+    def test_constraint_gradients_flow(self):
+        u = Tensor(np.array([0.3]), requires_grad=True)
+        constraints.positive.transform(u).sum().backward()
+        assert u.grad is not None
+
+
+class TestParamStore:
+    def test_setdefault_creates_and_returns(self):
+        store = get_param_store()
+        value = store.setdefault("w", np.array([1.0, 2.0]))
+        np.testing.assert_allclose(value.data, [1.0, 2.0])
+        assert "w" in store
+        assert len(store) == 1
+
+    def test_setdefault_does_not_overwrite(self):
+        store = get_param_store()
+        store.setdefault("w", np.array([1.0]))
+        again = store.setdefault("w", np.array([99.0]))
+        assert again.data[0] == pytest.approx(1.0)
+
+    def test_constrained_parameter_positive(self):
+        store = get_param_store()
+        value = store.setdefault("scale", np.array([0.5]), constraints.positive)
+        assert value.data[0] == pytest.approx(0.5, rel=1e-6)
+        unconstrained = store.get_unconstrained("scale")
+        unconstrained.data[...] = -100.0
+        assert store.get_param("scale").data[0] > 0
+
+    def test_set_param_overwrites_constrained_value(self):
+        store = get_param_store()
+        store.setdefault("scale", np.array([0.5]), constraints.positive)
+        store.set_param("scale", np.array([2.0]))
+        assert store.get_param("scale").data[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_delete_and_clear(self):
+        store = get_param_store()
+        store.setdefault("a", np.array([1.0]))
+        store.setdefault("b", np.array([2.0]))
+        store.delete("a")
+        assert "a" not in store and "b" in store
+        ppl.clear_param_store()
+        assert len(store) == 0
+
+    def test_named_parameters_are_unconstrained_tensors(self):
+        store = get_param_store()
+        store.setdefault("scale", np.array([1.0]), constraints.positive)
+        names = dict(store.named_parameters())
+        assert "scale" in names
+        assert names["scale"].requires_grad
+
+    def test_state_roundtrip(self):
+        store = get_param_store()
+        store.setdefault("w", np.array([1.0, 2.0]))
+        store.setdefault("scale", np.array([0.3]), constraints.positive)
+        state = store.get_state()
+        ppl.clear_param_store()
+        store.set_state(state)
+        np.testing.assert_allclose(store.get_param("w").data, [1.0, 2.0])
+        assert store.get_param("scale").data[0] == pytest.approx(0.3, rel=1e-6)
+
+    def test_keys_and_values(self):
+        store = get_param_store()
+        store.setdefault("w", np.array([1.0]))
+        assert list(store.keys()) == ["w"]
+        assert len(list(store.values())) == 1
+
+
+class TestPyroOptimWrappers:
+    def test_adam_wrapper_reduces_loss(self):
+        store = get_param_store()
+        p = store.setdefault("theta", np.array([4.0]))
+        optim = ppl.optim.Adam({"lr": 0.1})
+        for _ in range(200):
+            target = store.get_unconstrained("theta")
+            target.grad = None
+            loss = (store.get_param("theta") ** 2).sum()
+            loss.backward()
+            optim([target])
+        assert abs(store.get_param("theta").data[0]) < 0.05
+
+    def test_wrapper_handles_lazily_added_params(self):
+        store = get_param_store()
+        a = store.setdefault("a", np.array([1.0]))
+        optim = ppl.optim.SGD({"lr": 0.5})
+        ua = store.get_unconstrained("a")
+        (store.get_param("a") ** 2).sum().backward()
+        optim([ua])
+        b = store.setdefault("b", np.array([2.0]))
+        ub = store.get_unconstrained("b")
+        (store.get_param("b") ** 2).sum().backward()
+        optim([ua, ub])
+        assert store.get_param("b").data[0] < 2.0
+
+    def test_set_get_lr(self):
+        optim = ppl.optim.Adam({"lr": 0.3})
+        assert optim.get_lr() == pytest.approx(0.3)
+        optim.set_lr(0.01)
+        assert optim.get_lr() == pytest.approx(0.01)
+
+    def test_exponential_lr_scheduler(self):
+        from repro.nn.optim import Adam as NNAdam
+
+        sched = ppl.optim.ExponentialLR({"optimizer": NNAdam, "optim_args": {"lr": 1.0},
+                                         "gamma": 0.1})
+        store = get_param_store()
+        store.setdefault("x", np.array([1.0]))
+        u = store.get_unconstrained("x")
+        (store.get_param("x") ** 2).sum().backward()
+        sched([u])
+        sched.step()
+        assert sched.get_lr() == pytest.approx(0.1)

@@ -1,0 +1,219 @@
+"""Unit tests for the effect-handler (poutine) runtime."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl import poutine
+
+
+def simple_model(data=None):
+    z = ppl.sample("z", dist.Normal(0.0, 1.0))
+    with ppl.plate("data", size=10, subsample_size=5):
+        x = ppl.sample("x", dist.Normal(z, 1.0), obs=data)
+    return z, x
+
+
+class TestTrace:
+    def test_records_sample_sites(self):
+        tr = poutine.trace(simple_model).get_trace()
+        assert "z" in tr and "x" in tr
+        assert not tr["z"]["is_observed"]
+        assert not tr["x"]["is_observed"]
+
+    def test_records_observations(self):
+        tr = poutine.trace(simple_model).get_trace(np.zeros(5))
+        assert tr["x"]["is_observed"]
+        np.testing.assert_allclose(tr["x"]["value"].data, 0.0)
+
+    def test_return_value_recorded(self):
+        tr = poutine.trace(simple_model).get_trace()
+        assert "_RETURN" in tr
+
+    def test_log_prob_sum_matches_manual(self):
+        tr = poutine.trace(simple_model).get_trace(np.zeros(5))
+        z = tr["z"]["value"]
+        expected = dist.Normal(0.0, 1.0).log_prob(z).item() \
+            + 2.0 * dist.Normal(z, 1.0).log_prob(Tensor(np.zeros(5))).data.sum()
+        assert tr.log_prob_sum().item() == pytest.approx(expected, rel=1e-8)
+
+    def test_plate_scale_recorded(self):
+        tr = poutine.trace(simple_model).get_trace()
+        assert tr["x"]["scale"] == pytest.approx(2.0)
+        assert tr["z"]["scale"] == pytest.approx(1.0)
+
+    def test_stochastic_and_observation_nodes(self):
+        tr = poutine.trace(simple_model).get_trace(np.zeros(5))
+        assert list(tr.stochastic_nodes()) == ["z"]
+        assert list(tr.observation_nodes()) == ["x"]
+
+    def test_duplicate_site_raises(self):
+        def bad_model():
+            ppl.sample("a", dist.Normal(0.0, 1.0))
+            ppl.sample("a", dist.Normal(0.0, 1.0))
+
+        with pytest.raises(ValueError):
+            poutine.trace(bad_model).get_trace()
+
+    def test_trace_copy_and_detach(self):
+        tr = poutine.trace(simple_model).get_trace()
+        copy = tr.detach_values()
+        assert copy["z"]["value"].requires_grad is False
+        assert len(copy) == len(tr)
+
+
+class TestReplay:
+    def test_replay_reuses_values(self):
+        tr = poutine.trace(simple_model).get_trace()
+        replayed = poutine.trace(poutine.replay(simple_model, trace=tr)).get_trace()
+        assert replayed["z"]["value"] is tr["z"]["value"]
+
+    def test_replay_does_not_touch_missing_sites(self):
+        def model_a():
+            return ppl.sample("a", dist.Normal(0.0, 1.0))
+
+        def model_ab():
+            a = ppl.sample("a", dist.Normal(0.0, 1.0))
+            b = ppl.sample("b", dist.Normal(0.0, 1.0))
+            return a, b
+
+        tr = poutine.trace(model_a).get_trace()
+        replayed = poutine.trace(poutine.replay(model_ab, trace=tr)).get_trace()
+        assert replayed["a"]["value"] is tr["a"]["value"]
+        assert "b" in replayed
+
+    def test_replay_requires_trace(self):
+        with pytest.raises(ValueError):
+            poutine.replay(simple_model)
+
+
+class TestBlock:
+    def test_block_hides_all_by_default(self):
+        def model():
+            with poutine.block():
+                ppl.sample("hidden", dist.Normal(0.0, 1.0))
+            ppl.sample("visible", dist.Normal(0.0, 1.0))
+
+        tr = poutine.trace(model).get_trace()
+        assert "visible" in tr and "hidden" not in tr
+
+    def test_block_hide_list(self):
+        def model():
+            ppl.sample("a", dist.Normal(0.0, 1.0))
+            ppl.sample("b", dist.Normal(0.0, 1.0))
+
+        tr = poutine.trace(poutine.block(model, hide=["a"])).get_trace()
+        assert "b" in tr and "a" not in tr
+
+    def test_block_expose_list(self):
+        def model():
+            ppl.sample("a", dist.Normal(0.0, 1.0))
+            ppl.sample("b", dist.Normal(0.0, 1.0))
+
+        tr = poutine.trace(poutine.block(model, expose=["a"])).get_trace()
+        assert "a" in tr and "b" not in tr
+
+    def test_block_hide_fn(self):
+        def model():
+            ppl.sample("keep_me", dist.Normal(0.0, 1.0))
+            ppl.sample("drop_me", dist.Normal(0.0, 1.0))
+
+        tr = poutine.trace(poutine.block(model, hide_fn=lambda m: m["name"].startswith("drop"))
+                           ).get_trace()
+        assert "keep_me" in tr and "drop_me" not in tr
+
+    def test_inner_trace_still_sees_blocked_sites(self):
+        inner = poutine.trace(lambda: ppl.sample("s", dist.Normal(0.0, 1.0)))
+        with poutine.block():
+            inner.get_trace()
+        assert "s" in inner.msngr.trace
+
+
+class TestConditionMaskScaleSeed:
+    def test_condition_fixes_values(self):
+        conditioned = poutine.condition(simple_model, data={"z": np.array(2.0)})
+        tr = poutine.trace(conditioned).get_trace()
+        assert tr["z"]["value"].item() == pytest.approx(2.0)
+        assert tr["z"]["is_observed"]
+
+    def test_mask_zeroes_log_prob(self):
+        def model():
+            ppl.sample("x", dist.Normal(0.0, 1.0), obs=np.array([1.0, 2.0, 3.0]))
+
+        tr_full = poutine.trace(model).get_trace()
+        masked = poutine.mask(model, mask=np.array([1.0, 0.0, 0.0]))
+        tr_masked = poutine.trace(masked).get_trace()
+        full = tr_full.log_prob_sum().item()
+        partial = tr_masked.log_prob_sum().item()
+        assert partial == pytest.approx(dist.Normal(0.0, 1.0).log_prob(np.array(1.0)).item())
+        assert partial > full
+
+    def test_scale_multiplies_log_prob(self):
+        def model():
+            ppl.sample("x", dist.Normal(0.0, 1.0), obs=np.array(1.0))
+
+        base = poutine.trace(model).get_trace().log_prob_sum().item()
+        scaled = poutine.trace(poutine.scale(model, scale=3.0)).get_trace().log_prob_sum().item()
+        assert scaled == pytest.approx(3 * base)
+
+    def test_nested_scales_compose(self):
+        def model():
+            ppl.sample("x", dist.Normal(0.0, 1.0), obs=np.array(1.0))
+
+        def nested():
+            with poutine.scale(scale=2.0), poutine.scale(scale=5.0):
+                model()
+
+        base = poutine.trace(model).get_trace().log_prob_sum().item()
+        composed = poutine.trace(nested).get_trace().log_prob_sum().item()
+        assert composed == pytest.approx(10 * base)
+
+    def test_seed_makes_sampling_deterministic(self):
+        def model():
+            return ppl.sample("z", dist.Normal(0.0, 1.0))
+
+        v1 = poutine.seed(model, rng_seed=7)()
+        v2 = poutine.seed(model, rng_seed=7)()
+        assert v1.item() == v2.item()
+
+    def test_plate_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ppl.plate("p", size=0)
+
+
+class TestPrimitivesOutsideHandlers:
+    def test_sample_without_handlers_draws(self):
+        value = ppl.sample("free", dist.Normal(0.0, 1.0))
+        assert value.shape == ()
+
+    def test_sample_with_obs_returns_obs(self):
+        value = ppl.sample("obs", dist.Normal(0.0, 1.0), obs=np.array(5.0))
+        assert value.item() == 5.0
+
+    def test_param_roundtrip(self):
+        p = ppl.param("weight", np.array([1.0, 2.0]))
+        np.testing.assert_allclose(p.data, [1.0, 2.0])
+        again = ppl.param("weight")
+        np.testing.assert_allclose(again.data, [1.0, 2.0])
+
+    def test_param_without_init_raises(self):
+        with pytest.raises(ValueError):
+            ppl.param("never_created")
+
+    def test_deterministic_records_site(self):
+        def model():
+            z = ppl.sample("z", dist.Normal(0.0, 1.0))
+            ppl.deterministic("twice_z", z * 2.0)
+
+        tr = poutine.trace(model).get_trace()
+        assert "twice_z" in tr
+        assert tr["twice_z"]["value"].item() == pytest.approx(2 * tr["z"]["value"].item())
+
+    def test_factor_adds_log_density(self):
+        def model():
+            ppl.factor("penalty", Tensor(np.array(-3.0)))
+
+        tr = poutine.trace(model).get_trace()
+        assert tr.log_prob_sum().item() == pytest.approx(-3.0)

@@ -1,0 +1,130 @@
+"""Tests for stochastic-gradient Langevin dynamics (the Appendix-D extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+from repro.ppl import distributions as dist
+from repro.ppl.infer import SGLD, SGLDSampler
+
+
+def _gaussian_model(x, y=None):
+    """Unknown-mean Gaussian; the second argument keeps the (inputs, targets)
+    calling convention of the SGLD driver."""
+    mu = ppl.sample("mu", dist.Normal(0.0, 1.0))
+    obs = x if y is None else y
+    with ppl.plate("data", size=60, subsample_size=len(obs.data if hasattr(obs, "data") else obs)):
+        ppl.sample("obs", dist.Normal(mu, 0.5), obs=obs)
+
+
+def _true_posterior(x, lik_var=0.25):
+    post_var = 1.0 / (1.0 + len(x) / lik_var)
+    return post_var * x.sum() / lik_var, np.sqrt(post_var)
+
+
+class TestSGLDKernel:
+    def test_setup_discovers_latents(self):
+        kernel = SGLD(_gaussian_model, step_size=1e-3)
+        kernel.setup(np.zeros(10), np.zeros(10))
+        assert kernel.latent_names == ("mu",)
+        assert kernel.current_values()["mu"].shape == ()
+
+    def test_model_without_latents_raises(self):
+        def model(x, y):
+            ppl.sample("obs", dist.Normal(0.0, 1.0), obs=y)
+
+        kernel = SGLD(model)
+        with pytest.raises(ValueError):
+            kernel.setup(np.zeros(3), np.zeros(3))
+
+    def test_step_moves_towards_high_density_region(self):
+        data = np.random.default_rng(0).normal(3.0, 0.5, size=60)
+        kernel = SGLD(_gaussian_model, step_size=5e-3, preconditioned=False)
+        kernel.setup(data, data)
+        start = kernel.current_values()["mu"]
+        for _ in range(200):
+            kernel.step(data, data)
+        end = kernel.current_values()["mu"]
+        post_mean, _ = _true_posterior(data)
+        assert abs(end - post_mean) < abs(start - post_mean)
+
+    def test_preconditioning_state_updates(self):
+        data = np.random.default_rng(1).normal(1.0, 0.5, size=60)
+        kernel = SGLD(_gaussian_model, step_size=1e-3, preconditioned=True)
+        kernel.setup(data, data)
+        kernel.step(data, data)
+        assert kernel._v["mu"] > 0
+
+    def test_zero_temperature_removes_stationary_noise(self):
+        """Started at the posterior mode, a zero-temperature chain stays put while
+        the unit-temperature chain fluctuates around it."""
+        data = np.random.default_rng(2).normal(0.0, 0.5, size=60)
+        post_mean, _ = _true_posterior(data)
+
+        def stationary_std(temperature, seed):
+            ppl.set_rng_seed(seed)
+            kernel = SGLD(_gaussian_model, step_size=1e-4, temperature=temperature,
+                          preconditioned=False)
+            kernel.setup(data, data)
+            kernel._values["mu"] = np.array(post_mean)
+            values = []
+            for _ in range(50):
+                kernel.step(data, data)
+                values.append(float(kernel.current_values()["mu"]))
+            return np.std(np.asarray(values))
+
+        assert stationary_std(0.0, 3) < 1e-6
+        assert stationary_std(1.0, 3) > 1e-3
+
+
+class TestSGLDSampler:
+    def _run(self, rng, epochs=40):
+        data = rng.normal(2.0, 0.5, size=60)
+        loader = nn.DataLoader(nn.TensorDataset(data, data), batch_size=20, shuffle=True,
+                               rng=rng)
+        kernel = SGLD(_gaussian_model, step_size=2e-3, preconditioned=False)
+        sampler = SGLDSampler(kernel, burn_in=30, thinning=2)
+        sampler.run(loader, num_epochs=epochs)
+        return data, sampler
+
+    def test_collects_samples_with_correct_layout(self, rng):
+        data, sampler = self._run(rng)
+        samples = sampler.get_samples()
+        assert "mu" in samples
+        assert samples["mu"].ndim == 1
+        assert sampler.num_samples == len(samples["mu"])
+        assert len(sampler.potentials) == 40 * 3  # epochs * batches per epoch
+
+    def test_posterior_mean_approximately_recovered(self, rng):
+        data, sampler = self._run(rng, epochs=80)
+        post_mean, _ = _true_posterior(data)
+        samples = sampler.get_samples()["mu"]
+        assert samples[len(samples) // 2:].mean() == pytest.approx(post_mean, abs=0.3)
+
+    def test_get_samples_before_run_raises(self):
+        sampler = SGLDSampler(SGLD(_gaussian_model), burn_in=0, thinning=1)
+        with pytest.raises(RuntimeError):
+            sampler.get_samples()
+
+    def test_empty_loader_raises(self):
+        sampler = SGLDSampler(SGLD(_gaussian_model), burn_in=0, thinning=1)
+        with pytest.raises(ValueError):
+            sampler.run([], num_epochs=1)
+
+    def test_works_with_bnn_model(self, rng):
+        """SGLD can sample the weights of a supervised BNN's model directly."""
+        from functools import partial
+        import repro.core as tyxe
+
+        x = rng.standard_normal((30, 2))
+        y = (x[:, 0] > 0).astype(int)
+        net = nn.Sequential(nn.Linear(2, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(len(x)),
+                                  partial(tyxe.guides.AutoNormal, init_scale=1e-2))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=15, rng=rng)
+        kernel = SGLD(bnn.model, step_size=1e-4)
+        sampler = SGLDSampler(kernel, burn_in=5, thinning=2)
+        sampler.run(loader, num_epochs=10)
+        samples = sampler.get_samples()
+        assert samples["0.weight"].shape[1:] == (8, 2)

@@ -1,0 +1,184 @@
+"""Integration-style tests for SVI, ELBO estimators and automatic guides."""
+
+import numpy as np
+import pytest
+
+from repro import ppl
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl.infer import (SVI, AutoDelta, AutoLowRankMultivariateNormal, AutoNormal,
+                             TraceMeanField_ELBO, Trace_ELBO, init_to_mean, init_to_median,
+                             init_to_sample, init_to_value)
+
+
+def _conjugate_data(n=50, mu=2.0, sigma=0.5, seed=1):
+    return np.random.default_rng(seed).normal(mu, sigma, size=n)
+
+
+def _gaussian_model(x):
+    mu = ppl.sample("mu", dist.Normal(0.0, 1.0))
+    with ppl.plate("data", len(x)):
+        ppl.sample("obs", dist.Normal(mu, 0.5), obs=x)
+
+
+def _true_posterior(x, prior_var=1.0, lik_var=0.25):
+    post_var = 1.0 / (1.0 / prior_var + len(x) / lik_var)
+    post_mean = post_var * x.sum() / lik_var
+    return post_mean, np.sqrt(post_var)
+
+
+class TestInitStrategies:
+    def _site(self):
+        return {"name": "s", "fn": dist.Normal(np.full(3, 2.0), np.full(3, 0.1)),
+                "value": Tensor(np.zeros(3))}
+
+    def test_init_to_median_close_to_loc(self):
+        assert np.all(np.abs(init_to_median(self._site()) - 2.0) < 0.5)
+
+    def test_init_to_mean(self):
+        np.testing.assert_allclose(init_to_mean(self._site()), 2.0)
+
+    def test_init_to_sample_shape(self):
+        assert init_to_sample(self._site()).shape == (3,)
+
+    def test_init_to_value_with_fallback(self):
+        fn = init_to_value({"s": np.full(3, 7.0)})
+        np.testing.assert_allclose(fn(self._site()), 7.0)
+        fn_missing = init_to_value({"other": np.zeros(3)}, fallback=init_to_mean)
+        np.testing.assert_allclose(fn_missing(self._site()), 2.0)
+
+
+class TestAutoNormalSVI:
+    @pytest.mark.parametrize("elbo_cls", [Trace_ELBO, TraceMeanField_ELBO])
+    def test_recovers_conjugate_posterior(self, elbo_cls):
+        x = _conjugate_data()
+        guide = AutoNormal(_gaussian_model, init_scale=0.1)
+        svi = SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05}), elbo_cls())
+        for _ in range(400):
+            svi.step(x)
+        post_mean, post_std = _true_posterior(x)
+        store = ppl.get_param_store()
+        assert store.get_param("auto.loc.mu").item() == pytest.approx(post_mean, abs=0.1)
+        assert store.get_param("auto.scale.mu").item() == pytest.approx(post_std, abs=0.05)
+
+    def test_loss_decreases(self):
+        x = _conjugate_data()
+        guide = AutoNormal(_gaussian_model, init_scale=0.1)
+        svi = SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05}))
+        first = np.mean([svi.step(x) for _ in range(10)])
+        for _ in range(200):
+            svi.step(x)
+        last = np.mean([svi.evaluate_loss(x) for _ in range(10)])
+        assert last < first
+
+    def test_median_and_distributions(self):
+        x = _conjugate_data()
+        guide = AutoNormal(_gaussian_model, init_scale=0.1)
+        svi = SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05}))
+        for _ in range(100):
+            svi.step(x)
+        median = guide.median()
+        assert "mu" in median
+        d = guide.get_distribution("mu")
+        assert isinstance(d, dist.Normal)
+        detached = guide.get_detached_distributions(("mu",))
+        assert not detached["mu"].loc.requires_grad
+
+    def test_latent_names_discovered(self):
+        guide = AutoNormal(_gaussian_model)
+        guide(_conjugate_data(5))
+        assert guide.latent_names == ("mu",)
+
+    def test_evaluate_loss_does_not_update(self):
+        x = _conjugate_data()
+        guide = AutoNormal(_gaussian_model, init_scale=0.1)
+        svi = SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05}))
+        svi.step(x)
+        before = ppl.get_param_store().get_param("auto.loc.mu").item()
+        svi.evaluate_loss(x)
+        after = ppl.get_param_store().get_param("auto.loc.mu").item()
+        assert before == after
+
+    def test_num_particles_reduces_variance(self):
+        x = _conjugate_data()
+        guide = AutoNormal(_gaussian_model, init_scale=0.1)
+        SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05})).step(x)  # init params
+
+        def loss_std(num_particles, repeats=15):
+            elbo = Trace_ELBO(num_particles=num_particles)
+            return np.std([elbo.loss(_gaussian_model, guide, x) for _ in range(repeats)])
+
+        assert loss_std(8) < loss_std(1)
+
+    def test_invalid_num_particles(self):
+        with pytest.raises(ValueError):
+            Trace_ELBO(num_particles=0)
+
+
+class TestAutoDelta:
+    def test_recovers_map_estimate(self):
+        x = _conjugate_data()
+        guide = AutoDelta(_gaussian_model)
+        svi = SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05}))
+        for _ in range(300):
+            svi.step(x)
+        post_mean, _ = _true_posterior(x)
+        assert guide.median()["mu"] == pytest.approx(post_mean, abs=0.05)
+
+    def test_delta_guide_distribution(self):
+        x = _conjugate_data()
+        guide = AutoDelta(_gaussian_model)
+        SVI(_gaussian_model, guide, ppl.optim.Adam({"lr": 0.05})).step(x)
+        assert isinstance(guide.get_distribution("mu"), dist.Delta)
+
+
+class TestAutoLowRank:
+    def _model(self, x):
+        w = ppl.sample("w", dist.Normal(np.zeros(3), np.ones(3)).to_event(1))
+        b = ppl.sample("b", dist.Normal(0.0, 1.0))
+        with ppl.plate("data", len(x)):
+            ppl.sample("obs", dist.Normal(w.sum() + b, 0.5), obs=x)
+
+    def test_fits_and_reduces_loss(self):
+        x = _conjugate_data()
+        guide = AutoLowRankMultivariateNormal(self._model, rank=2, init_scale=0.1)
+        svi = SVI(self._model, guide, ppl.optim.Adam({"lr": 0.05}))
+        losses = [svi.step(x) for _ in range(200)]
+        assert np.mean(losses[-20:]) < np.mean(losses[:20])
+
+    def test_latent_layout_covers_all_sites(self):
+        guide = AutoLowRankMultivariateNormal(self._model, rank=2)
+        guide(_conjugate_data(10))
+        assert set(guide.latent_names) == {"w", "b"}
+        assert guide._total_dim == 4
+
+    def test_median_shapes(self):
+        guide = AutoLowRankMultivariateNormal(self._model, rank=2)
+        guide(_conjugate_data(10))
+        median = guide.median()
+        assert median["w"].shape == (3,)
+        assert median["b"].shape == ()
+
+    def test_marginal_distribution(self):
+        guide = AutoLowRankMultivariateNormal(self._model, rank=2)
+        guide(_conjugate_data(10))
+        marginal = guide.get_distribution("w")
+        assert marginal.event_shape == (3,)
+
+
+class TestGuideInitialization:
+    def test_init_loc_fn_is_honored(self):
+        x = _conjugate_data(10)
+        guide = AutoNormal(_gaussian_model, init_loc_fn=init_to_value({"mu": np.array(3.5)}),
+                           init_scale=0.01)
+        guide(x)
+        assert ppl.get_param_store().get_param("auto.loc.mu").item() == pytest.approx(3.5)
+
+    def test_custom_prefix_separates_parameters(self):
+        x = _conjugate_data(10)
+        guide_a = AutoNormal(_gaussian_model, prefix="guide_a")
+        guide_b = AutoNormal(_gaussian_model, prefix="guide_b")
+        guide_a(x)
+        guide_b(x)
+        names = set(ppl.get_param_store().keys())
+        assert "guide_a.loc.mu" in names and "guide_b.loc.mu" in names

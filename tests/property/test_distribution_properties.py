@@ -1,0 +1,134 @@
+"""Property-based tests for distributions and probabilistic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ppl
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+
+settings.register_profile("dist", max_examples=40, deadline=None)
+settings.load_profile("dist")
+
+locs = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+scales = st.floats(min_value=0.05, max_value=3.0, allow_nan=False)
+probs = st.floats(min_value=0.05, max_value=0.95)
+
+
+class TestNormalProperties:
+    @given(locs, scales)
+    def test_log_prob_maximized_at_mean(self, loc, scale):
+        d = dist.Normal(loc, scale)
+        at_mean = d.log_prob(np.array(loc)).item()
+        away = d.log_prob(np.array(loc + 2 * scale)).item()
+        assert at_mean >= away
+
+    @given(locs, scales, st.floats(min_value=-3, max_value=3))
+    def test_log_prob_symmetry(self, loc, scale, offset):
+        d = dist.Normal(loc, scale)
+        left = d.log_prob(np.array(loc - offset)).item()
+        right = d.log_prob(np.array(loc + offset)).item()
+        assert np.isclose(left, right, rtol=1e-8)
+
+    @given(locs, scales)
+    def test_kl_self_is_zero(self, loc, scale):
+        d = dist.Normal(loc, scale)
+        assert abs(dist.kl_divergence(d, dist.Normal(loc, scale)).item()) < 1e-10
+
+    @given(locs, scales, locs, scales)
+    def test_kl_nonnegative(self, loc1, scale1, loc2, scale2):
+        kl = dist.kl_divergence(dist.Normal(loc1, scale1), dist.Normal(loc2, scale2)).item()
+        assert kl >= -1e-10
+
+    @given(locs, scales)
+    def test_entropy_increases_with_scale(self, loc, scale):
+        smaller = dist.Normal(loc, scale).entropy().item()
+        larger = dist.Normal(loc, 2 * scale).entropy().item()
+        assert larger > smaller
+
+    @given(locs, scales)
+    def test_cdf_monotone(self, loc, scale):
+        d = dist.Normal(loc, scale)
+        points = np.linspace(loc - 3 * scale, loc + 3 * scale, 7)
+        values = [d.cdf(np.array(p)).item() for p in points]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @given(locs, scales)
+    def test_rsample_reparameterization_consistency(self, loc, scale):
+        """Two rsamples with the same underlying seed differ only through loc/scale."""
+        ppl.set_rng_seed(123)
+        s1 = dist.Normal(loc, scale).rsample().item()
+        ppl.set_rng_seed(123)
+        s2 = dist.Normal(loc, scale).rsample().item()
+        assert np.isclose(s1, s2)
+
+
+class TestDiscreteProperties:
+    @given(st.lists(st.floats(min_value=-4, max_value=4), min_size=2, max_size=6))
+    def test_categorical_log_probs_normalize(self, logits):
+        d = dist.Categorical(logits=np.array(logits))
+        total = sum(np.exp(d.log_prob(np.array(k)).item()) for k in range(len(logits)))
+        assert np.isclose(total, 1.0, rtol=1e-6)
+
+    @given(st.lists(st.floats(min_value=-4, max_value=4), min_size=2, max_size=6))
+    def test_categorical_entropy_bounded(self, logits):
+        d = dist.Categorical(logits=np.array(logits))
+        entropy = d.entropy().item()
+        assert -1e-9 <= entropy <= np.log(len(logits)) + 1e-9
+
+    @given(probs)
+    def test_bernoulli_probabilities_sum_to_one(self, p):
+        d = dist.Bernoulli(probs=np.array(p))
+        total = np.exp(d.log_prob(np.array(1.0)).item()) + np.exp(d.log_prob(np.array(0.0)).item())
+        assert np.isclose(total, 1.0, rtol=1e-8)
+
+    @given(probs)
+    def test_bernoulli_mean_matches_prob(self, p):
+        assert np.isclose(dist.Bernoulli(probs=np.array(p)).mean.item(), p)
+
+    @given(st.floats(min_value=0.2, max_value=10.0))
+    def test_poisson_mean_equals_variance(self, rate):
+        d = dist.Poisson(np.array(rate))
+        assert np.isclose(d.mean.item(), d.variance.item())
+
+
+class TestIndependentProperties:
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_to_event_log_prob_equals_sum(self, rows, cols):
+        rng = np.random.default_rng(0)
+        loc = rng.standard_normal((rows, cols))
+        d_base = dist.Normal(loc, np.ones((rows, cols)))
+        d_event = d_base.to_event(2)
+        value = rng.standard_normal((rows, cols))
+        assert np.isclose(d_event.log_prob(value).item(), d_base.log_prob(value).data.sum(),
+                          rtol=1e-8)
+
+    @given(st.integers(1, 5))
+    def test_event_shape_accounting(self, n):
+        d = dist.Normal(np.zeros((2, n)), 1.0).to_event(1)
+        assert d.batch_shape == (2,)
+        assert d.event_shape == (n,)
+
+
+class TestGuideAndELBOProperties:
+    @given(locs, scales)
+    def test_elbo_lower_bounds_log_evidence(self, mu_prior, obs_noise):
+        """For a conjugate Gaussian model the (analytic) ELBO at the true posterior
+        equals the log evidence; at any other guide it must be lower."""
+        x = np.array([0.3, -0.5, 0.8])
+        prior = dist.Normal(mu_prior, 1.0)
+        post_var = 1.0 / (1.0 + len(x) / obs_noise ** 2)
+        post_mean = post_var * (mu_prior + x.sum() / obs_noise ** 2)
+
+        def elbo(q_mean, q_std, num=2000):
+            ppl.set_rng_seed(0)
+            q = dist.Normal(q_mean, q_std)
+            z = q.rsample((num,))
+            lik = sum_log_lik = dist.Normal(z.reshape(-1, 1), obs_noise).log_prob(x).data.sum(-1)
+            joint = lik + prior.log_prob(z).data
+            return (joint - q.log_prob(z).data).mean()
+
+        optimal = elbo(post_mean, np.sqrt(post_var))
+        worse = elbo(post_mean + 1.0, np.sqrt(post_var) * 2)
+        assert optimal >= worse - 0.05

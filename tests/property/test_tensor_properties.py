@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn.tensor import Tensor, unbroadcast
+
+settings.register_profile("ci", max_examples=50, deadline=None)
+settings.load_profile("ci")
+
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@st.composite
+def matched_arrays(draw, max_side=4, count=2):
+    shape = tuple(draw(st.lists(st.integers(1, max_side), min_size=1, max_size=3)))
+    return [draw(arrays(shape)) for _ in range(count)]
+
+
+class TestAlgebraicProperties:
+    @given(matched_arrays())
+    def test_addition_commutes(self, pair):
+        a, b = pair
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(matched_arrays(count=3))
+    def test_addition_associates(self, triple):
+        a, b, c = triple
+        left = ((Tensor(a) + Tensor(b)) + Tensor(c)).data
+        right = (Tensor(a) + (Tensor(b) + Tensor(c))).data
+        np.testing.assert_allclose(left, right, rtol=1e-10, atol=1e-12)
+
+    @given(matched_arrays())
+    def test_subtraction_is_inverse_of_addition(self, pair):
+        a, b = pair
+        np.testing.assert_allclose(((Tensor(a) + Tensor(b)) - Tensor(b)).data, a,
+                                   rtol=1e-10, atol=1e-10)
+
+    @given(matched_arrays(count=1))
+    def test_exp_log_roundtrip(self, single):
+        (a,) = single
+        positive = np.abs(a) + 0.5
+        np.testing.assert_allclose(Tensor(positive).log().exp().data, positive, rtol=1e-10)
+
+    @given(matched_arrays(count=1))
+    def test_tanh_bounded(self, single):
+        (a,) = single
+        out = Tensor(a).tanh().data
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    @given(matched_arrays(count=1))
+    def test_relu_idempotent(self, single):
+        (a,) = single
+        once = Tensor(a).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @given(matched_arrays(count=1))
+    def test_softmax_is_probability_vector(self, single):
+        (a,) = single
+        out = nn.functional.softmax(Tensor(a), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-8)
+        assert np.all(out >= 0)
+
+
+class TestGradientProperties:
+    @given(matched_arrays())
+    def test_sum_gradient_is_ones(self, pair):
+        a, _ = pair
+        t = Tensor(a, requires_grad=True)
+        (t.sum()).backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+    @given(matched_arrays())
+    def test_linear_combination_gradients(self, pair):
+        a, b = pair
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (2.0 * ta + 3.0 * tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, 2.0 * np.ones_like(a))
+        np.testing.assert_allclose(tb.grad, 3.0 * np.ones_like(b))
+
+    @given(matched_arrays(count=1))
+    def test_gradient_of_mean_sums_to_one(self, single):
+        (a,) = single
+        t = Tensor(a, requires_grad=True)
+        t.mean().backward()
+        assert np.isclose(t.grad.sum(), 1.0)
+
+    @given(matched_arrays())
+    def test_product_rule(self, pair):
+        a, b = pair
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta * tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, b, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(tb.grad, a, rtol=1e-10, atol=1e-12)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols))
+        assert unbroadcast(grad, (cols,)).shape == (cols,)
+        assert unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert unbroadcast(grad, (rows, 1)).shape == (rows, 1)
+
+    @given(matched_arrays(count=1))
+    def test_detach_stops_gradients(self, single):
+        (a,) = single
+        t = Tensor(a, requires_grad=True)
+        out = (t.detach() * 2.0).sum()
+        assert not out.requires_grad
+
+    @given(matched_arrays(count=1))
+    def test_reshape_preserves_gradient_total(self, single):
+        (a,) = single
+        t = Tensor(a, requires_grad=True)
+        t.reshape(-1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))

@@ -1,0 +1,150 @@
+"""Unit tests for the volumetric rendering substrate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.render import (NeRFField, PositionalEncoding, VolumetricRenderer, camera_rays,
+                          look_at_camera, make_nerf_field, make_scene_dataset, ray_grid,
+                          train_test_angles, two_sphere_field)
+
+
+class TestCameras:
+    def test_camera_orbits_origin(self):
+        position, forward, right, up = look_at_camera(45.0, elevation_deg=10.0, radius=3.0)
+        assert np.linalg.norm(position) == pytest.approx(3.0)
+        # forward points at the origin
+        np.testing.assert_allclose(forward, -position / np.linalg.norm(position), rtol=1e-10)
+        # camera frame is orthonormal
+        assert np.dot(forward, right) == pytest.approx(0.0, abs=1e-10)
+        assert np.dot(forward, up) == pytest.approx(0.0, abs=1e-10)
+        assert np.linalg.norm(right) == pytest.approx(1.0)
+
+    def test_camera_rays_shapes_and_normalization(self):
+        origins, directions = camera_rays(30.0, image_size=8)
+        assert origins.shape == (64, 3)
+        assert directions.shape == (64, 3)
+        np.testing.assert_allclose(np.linalg.norm(directions, axis=-1), 1.0, rtol=1e-10)
+
+    def test_rays_diverge_across_image(self):
+        _, directions = camera_rays(0.0, image_size=8, fov_deg=60.0)
+        assert not np.allclose(directions[0], directions[-1])
+
+    def test_ray_grid_points(self):
+        origins = np.zeros((2, 3))
+        directions = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        points, deltas = ray_grid(origins, directions, near=1.0, far=2.0, num_samples=5)
+        assert points.shape == (2, 5, 3)
+        np.testing.assert_allclose(points[0, 0], [1.0, 0, 0])
+        np.testing.assert_allclose(points[0, -1], [2.0, 0, 0])
+        assert deltas[0] == pytest.approx(0.25)
+
+    def test_different_angles_give_different_origins(self):
+        o1, _ = camera_rays(0.0, image_size=4)
+        o2, _ = camera_rays(90.0, image_size=4)
+        assert not np.allclose(o1[0], o2[0])
+
+
+class TestNeRFField:
+    def test_positional_encoding_dim(self):
+        enc = PositionalEncoding(num_frequencies=4)
+        assert enc.output_dim == 3 * (2 * 4 + 1)
+        out = enc(Tensor(np.random.default_rng(0).standard_normal((10, 3))))
+        assert out.shape == (10, enc.output_dim)
+
+    def test_positional_encoding_without_input(self):
+        enc = PositionalEncoding(num_frequencies=2, include_input=False)
+        assert enc.output_dim == 12
+
+    def test_field_output_shape(self, rng):
+        field = make_nerf_field(hidden=16, depth=2, rng=rng)
+        out = field(Tensor(rng.standard_normal((20, 3))))
+        assert out.shape == (20, 4)
+
+    def test_field_is_differentiable(self, rng):
+        field = NeRFField(hidden=16, depth=2, rng=rng)
+        out = field(Tensor(rng.standard_normal((5, 3))))
+        (out ** 2).sum().backward()
+        assert all(p.grad is not None for p in field.parameters())
+
+
+class TestVolumetricRenderer:
+    def test_render_shapes_and_ranges(self, rng):
+        renderer = VolumetricRenderer(image_size=8, num_samples_per_ray=8)
+        image, silhouette = renderer(30.0, two_sphere_field)
+        assert image.shape == (8, 8, 3)
+        assert silhouette.shape == (8, 8)
+        assert np.all(image.data >= 0) and np.all(image.data <= 1)
+        assert np.all(silhouette.data >= 0) and np.all(silhouette.data <= 1 + 1e-6)
+
+    def test_object_visible_in_silhouette(self):
+        renderer = VolumetricRenderer(image_size=12, num_samples_per_ray=16)
+        _, silhouette = renderer(0.0, two_sphere_field)
+        assert silhouette.data.max() > 0.5  # the spheres are hit by some rays
+        assert silhouette.data.min() < 0.1  # and missed by others
+
+    def test_views_change_with_angle(self):
+        renderer = VolumetricRenderer(image_size=10, num_samples_per_ray=10)
+        img0, _ = renderer(0.0, two_sphere_field)
+        img180, _ = renderer(180.0, two_sphere_field)
+        assert not np.allclose(img0.data, img180.data, atol=1e-3)
+
+    def test_gradient_flows_through_rendering(self, rng):
+        renderer = VolumetricRenderer(image_size=6, num_samples_per_ray=6)
+        field = make_nerf_field(hidden=8, depth=2, rng=rng)
+        image, silhouette = renderer(45.0, field)
+        loss = (image ** 2).mean() + (silhouette ** 2).mean()
+        loss.backward()
+        assert all(p.grad is not None for p in field.parameters())
+
+    def test_empty_field_renders_black(self):
+        def empty_field(points):
+            raw = np.full((points.shape[0], 4), -20.0)
+            return Tensor(raw)
+
+        renderer = VolumetricRenderer(image_size=6, num_samples_per_ray=6)
+        image, silhouette = renderer(0.0, empty_field)
+        np.testing.assert_allclose(silhouette.data, 0.0, atol=1e-4)
+        np.testing.assert_allclose(image.data, 0.0, atol=1e-4)
+
+    def test_opaque_field_saturates_silhouette(self):
+        def solid_field(points):
+            raw = np.zeros((points.shape[0], 4))
+            raw[:, 0] = 50.0
+            return Tensor(raw)
+
+        renderer = VolumetricRenderer(image_size=4, num_samples_per_ray=8)
+        _, silhouette = renderer(0.0, solid_field)
+        np.testing.assert_allclose(silhouette.data, 1.0, atol=1e-3)
+
+    def test_nerf_field_can_be_trained_to_match_scene(self, rng):
+        renderer = VolumetricRenderer(image_size=6, num_samples_per_ray=6)
+        target_img, target_sil = renderer(30.0, two_sphere_field)
+        field = make_nerf_field(hidden=16, depth=2, rng=rng)
+        optim = nn.Adam(field.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(30):
+            optim.zero_grad()
+            img, sil = renderer(30.0, field)
+            loss = nn.functional.mse_loss(img, target_img) + nn.functional.mse_loss(sil, target_sil)
+            loss.backward()
+            optim.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestScenes:
+    def test_train_test_angles_disjoint_sector(self):
+        train, test = train_test_angles(num_train=20, num_test=8)
+        assert len(test) == 8
+        assert np.all((test >= 120.0) & (test < 210.0))
+        assert not np.any((train >= 120.0) & (train < 210.0))
+
+    def test_make_scene_dataset(self):
+        renderer = VolumetricRenderer(image_size=6, num_samples_per_ray=6)
+        dataset = make_scene_dataset(renderer, [0.0, 90.0])
+        assert len(dataset) == 2
+        assert dataset[0]["image"].shape == (6, 6, 3)
+        assert dataset[0]["silhouette"].shape == (6, 6)
+        assert dataset[1]["angle"] == 90.0

@@ -1,0 +1,93 @@
+"""Perf benchmark for the vectorized posterior-predictive engine.
+
+Times ``VariationalBNN.predict`` on the paper's MLP regression workload
+(Listings 1-2 shape: a 1-50-1 tanh network on a 1-D grid) in both execution
+modes at ``num_predictions=32`` and asserts
+
+* the vectorized path is at least 3x faster than the looped reference, and
+* both paths produce identical stacked predictions under the same RNG seed
+  (``atol=1e-8``).
+
+The measured timings are written to ``benchmarks/BENCH_predict.json`` so
+future PRs can track the trajectory of this hot path.
+"""
+
+import json
+import time
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+from _harness import record, run_once
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.ppl import distributions as dist
+
+NUM_PREDICTIONS = 32
+MIN_SPEEDUP = 3.0
+_REPEATS = 5
+
+
+def _make_bnn(rng, x):
+    net = nn.Sequential(nn.Linear(1, 50, rng=rng), nn.Tanh(), nn.Linear(50, 1, rng=rng))
+    return tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                               tyxe.likelihoods.HomoskedasticGaussian(len(x), 0.1),
+                               partial(tyxe.guides.AutoNormal, init_scale=0.05,
+                                       init_loc_fn=tyxe.guides.init_to_normal("radford")))
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_predict_speedup(benchmark):
+    rng = np.random.default_rng(0)
+    x = np.linspace(-2.0, 2.0, 100).reshape(-1, 1)
+    bnn = _make_bnn(rng, x)
+    bnn.predict(x, num_predictions=1)  # instantiate guide parameters
+
+    # numerical equivalence under a shared seed
+    ppl.set_rng_seed(42)
+    looped = bnn.predict(x, num_predictions=NUM_PREDICTIONS, aggregate=False)
+    ppl.set_rng_seed(42)
+    vectorized = bnn.predict(x, num_predictions=NUM_PREDICTIONS, aggregate=False,
+                             vectorized=True)
+    np.testing.assert_allclose(vectorized.data, looped.data, atol=1e-8, rtol=0)
+    ppl.set_rng_seed(42)
+    agg_looped = bnn.predict(x, num_predictions=NUM_PREDICTIONS)
+    ppl.set_rng_seed(42)
+    agg_vectorized = bnn.predict(x, num_predictions=NUM_PREDICTIONS, vectorized=True)
+    np.testing.assert_allclose(agg_vectorized.data, agg_looped.data, atol=1e-8, rtol=0)
+
+    # wall-clock comparison (best-of to damp scheduler noise)
+    t_looped = _best_of(lambda: bnn.predict(x, num_predictions=NUM_PREDICTIONS,
+                                            aggregate=False))
+    t_vectorized = _best_of(lambda: bnn.predict(x, num_predictions=NUM_PREDICTIONS,
+                                                aggregate=False, vectorized=True))
+    speedup = t_looped / t_vectorized
+
+    run_once(benchmark, bnn.predict, x, num_predictions=NUM_PREDICTIONS,
+             aggregate=False, vectorized=True)
+    record(benchmark, looped_ms=t_looped * 1e3, vectorized_ms=t_vectorized * 1e3,
+           speedup=speedup, num_predictions=NUM_PREDICTIONS)
+
+    payload = {
+        "workload": "mlp_regression_predict",
+        "num_predictions": NUM_PREDICTIONS,
+        "grid_points": int(x.shape[0]),
+        "looped_seconds": t_looped,
+        "vectorized_seconds": t_vectorized,
+        "speedup": speedup,
+        "min_required_speedup": MIN_SPEEDUP,
+    }
+    (Path(__file__).parent / "BENCH_predict.json").write_text(json.dumps(payload, indent=2))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized predict only {speedup:.2f}x faster than the looped path "
+        f"(looped {t_looped * 1e3:.2f}ms, vectorized {t_vectorized * 1e3:.2f}ms)")

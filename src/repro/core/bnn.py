@@ -29,8 +29,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from ..nn import functional as nn_F
 from ..nn.modules import Module
-from ..nn.tensor import Parameter, Tensor, no_grad
+from ..nn.tensor import Parameter, Tensor, no_grad, stack as nn_stack
 from .. import ppl
 from ..ppl import distributions as dist
 from ..ppl import poutine as ppl_poutine
@@ -146,6 +147,53 @@ class GuidedBNN(_BNN):
             guide_trace = ppl_poutine.trace(self.net_guide).get_trace(*args, **kwargs)
         return ppl_poutine.replay(self.net_model, trace=guide_trace)(*args, **kwargs)
 
+    def _stacked_guide_samples(self, num_samples: int, *args, **kwargs) -> Dict[str, Tensor]:
+        """Draw ``num_samples`` guide samples per site, stacked on a leading axis.
+
+        Uses the guide's ``sample_stacked`` fast path when available (all
+        autoguides provide one); otherwise traces the guide repeatedly —
+        either way the RNG stream matches ``num_samples`` looped
+        ``guided_forward`` calls exactly.
+        """
+        if hasattr(self.net_guide, "sample_stacked"):
+            return self.net_guide.sample_stacked(num_samples, *args, **kwargs)
+        stacks: Optional[OrderedDict] = None
+        for _ in range(num_samples):
+            tr = ppl_poutine.trace(self.net_guide).get_trace(*args, **kwargs)
+            if stacks is None:
+                stacks = OrderedDict(
+                    (name, []) for name in tr
+                    if tr[name]["type"] == "sample" and not tr[name]["is_observed"])
+            for name in stacks:
+                stacks[name].append(tr[name]["value"])
+        return OrderedDict((name, nn_stack(values)) for name, values in (stacks or {}).items())
+
+    def vectorized_forward(self, *args, num_samples: int = 1, **kwargs):
+        """Forward pass carrying ``num_samples`` posterior weight samples at once.
+
+        All guide samples are drawn up front and substituted into the network
+        as ``(num_samples, ...)``-stacked tensors; one batched forward pass
+        (leading-sample-dimension execution, see ``repro.nn``) then computes
+        every per-sample prediction, returning ``(num_samples, N, ...)``.
+        Equivalent to — and RNG-compatible with — ``num_samples`` calls of
+        :meth:`guided_forward`, without the per-sample Python trace overhead.
+
+        Requires the guide to cover every Bayesian site: the looped path
+        samples uncovered sites from the prior on each pass, which a single
+        batched execution cannot reproduce, so that configuration raises
+        instead of silently collapsing the uncovered sites' uncertainty.
+        """
+        samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
+        uncovered = [name for name in self.param_dists if name not in samples]
+        if uncovered:
+            raise ValueError(
+                "vectorized forward requires the guide to cover every Bayesian "
+                f"site; not covered: {uncovered} — use the looped path "
+                "(vectorized=False) for partially guided networks")
+        values = OrderedDict((name, samples[name]) for name in self.param_dists)
+        with self._substituted_params(values), nn_F.vectorized_samples(1):
+            return self.net(*args, **kwargs)
+
 
 class PytorchBNN(GuidedBNN):
     """Drop-in variational replacement for a deterministic ``nn.Module``.
@@ -213,20 +261,36 @@ class _SupervisedBNN(GuidedBNN):
         self.likelihood(predictions, obs)
         return predictions
 
-    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True):
-        """Posterior-predictive samples (aggregated by default, per the paper)."""
-        predictions = []
+    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True,
+                vectorized: bool = False):
+        """Posterior-predictive samples (aggregated by default, per the paper).
+
+        ``vectorized=True`` draws all ``num_predictions`` weight samples up
+        front and runs a single batched forward pass over the leading sample
+        dimension instead of ``num_predictions`` traced passes — numerically
+        equivalent (same RNG stream) and much faster; requires a network whose
+        layers broadcast over leading weight dimensions, which all
+        ``repro.nn`` layers do.  The looped path remains the default and the
+        fallback for exotic architectures.
+        """
         with no_grad():
-            for _ in range(num_predictions):
-                out = self.guided_forward(*_as_tuple(input_data))
-                predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
-        stacked = Tensor(np.stack(predictions))
+            if vectorized:
+                out = self.vectorized_forward(*_as_tuple(input_data),
+                                              num_samples=num_predictions)
+                stacked = Tensor(out.data if isinstance(out, Tensor) else np.asarray(out))
+            else:
+                predictions = []
+                for _ in range(num_predictions):
+                    out = self.guided_forward(*_as_tuple(input_data))
+                    predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
+                stacked = Tensor(np.stack(predictions))
         return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked
 
     def evaluate(self, input_data, targets, num_predictions: int = 1,
-                 reduction: str = "mean") -> Tuple[float, float]:
+                 reduction: str = "mean", vectorized: bool = False) -> Tuple[float, float]:
         """Return ``(log_likelihood, error)`` of the aggregated predictions."""
-        aggregated = self.predict(input_data, num_predictions=num_predictions, aggregate=True)
+        aggregated = self.predict(input_data, num_predictions=num_predictions, aggregate=True,
+                                  vectorized=vectorized)
         log_likelihood = self.likelihood.log_likelihood(aggregated, targets, reduction=reduction)
         error = self.likelihood.error(aggregated, targets, reduction=reduction)
         return log_likelihood, error
@@ -274,16 +338,21 @@ class VariationalBNN(_SupervisedBNN):
 
     def fit(self, data_loader: Iterable, optim, num_epochs: int,
             callback: Optional[Callable] = None, num_particles: int = 1,
-            closed_form_kl: bool = True) -> "VariationalBNN":
+            closed_form_kl: bool = True, vectorize_particles: bool = False) -> "VariationalBNN":
         """Run stochastic variational inference over ``data_loader``.
 
         ``data_loader`` yields length-two tuples ``(inputs, targets)`` where
         ``inputs`` may itself be a tuple of arguments to the network.
         ``callback(bnn, epoch, avg_elbo_loss)`` is invoked after every epoch
         and may return ``True`` to stop training early.
+
+        ``vectorize_particles=True`` evaluates all ``num_particles`` ELBO
+        particles through one batched model execution (leading-sample-
+        dimension mode) instead of a Python-level loop; see
+        :class:`repro.ppl.infer.ELBO`.
         """
         elbo_cls = TraceMeanField_ELBO if closed_form_kl else Trace_ELBO
-        elbo = elbo_cls(num_particles=num_particles)
+        elbo = elbo_cls(num_particles=num_particles, vectorize_particles=vectorize_particles)
         for epoch in range(num_epochs):
             total_loss = 0.0
             num_batches = 0
@@ -373,17 +442,43 @@ class MCMC_BNN(_SupervisedBNN):
         with self._substituted_params(values):
             return self.net(*args, **kwargs)
 
-    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True):
-        """Posterior-predictive estimates using evenly spaced posterior samples."""
+    @staticmethod
+    def _prediction_indices(total: int, num_predictions: int) -> np.ndarray:
+        """Evenly spaced posterior-sample indices, newest-biased for ``n=1``.
+
+        A single prediction uses the *final* (best-mixed) sample; the old
+        ``linspace(0, total-1, 1)`` behaviour silently returned index 0, the
+        least-converged draw of the whole chain.
+        """
+        if num_predictions == 1:
+            return np.array([total - 1], dtype=int)
+        return np.linspace(0, total - 1, num_predictions).astype(int)
+
+    def predict(self, input_data, num_predictions: int = 1, aggregate: bool = True,
+                vectorized: bool = False):
+        """Posterior-predictive estimates using evenly spaced posterior samples.
+
+        ``vectorized=True`` substitutes all selected posterior weight samples
+        at once and runs one batched forward pass over the leading sample
+        dimension (identical output to the looped path, no RNG involved).
+        """
         total = self.num_posterior_samples
         if total == 0:
             raise RuntimeError("call fit() before predict()")
         num_predictions = min(num_predictions, total)
-        indices = np.linspace(0, total - 1, num_predictions).astype(int)
-        predictions = []
+        indices = self._prediction_indices(total, num_predictions)
         with no_grad():
-            for idx in indices:
-                out = self.guided_forward(*_as_tuple(input_data), sample_index=int(idx))
-                predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
-        stacked = Tensor(np.stack(predictions))
+            if vectorized:
+                samples = self.posterior_samples()
+                values = OrderedDict((name, Tensor(samples[name][indices]))
+                                     for name in self.param_dists)
+                with self._substituted_params(values), nn_F.vectorized_samples(1):
+                    out = self.net(*_as_tuple(input_data))
+                stacked = Tensor(out.data if isinstance(out, Tensor) else np.asarray(out))
+            else:
+                predictions = []
+                for idx in indices:
+                    out = self.guided_forward(*_as_tuple(input_data), sample_index=int(idx))
+                    predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
+                stacked = Tensor(np.stack(predictions))
         return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked

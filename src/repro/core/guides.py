@@ -128,6 +128,10 @@ class AutoNormal(_PPLAutoNormal):
         from ..ppl.primitives import param
 
         store = get_param_store()
+        existing = self._stored_params(self._site_param_name(name, "loc"),
+                                       self._site_param_name(name, "scale"))
+        if existing is not None:
+            return existing
         init_loc = np.asarray(self.init_loc_fn(site), dtype=np.float64)
         shape = init_loc.shape
         loc_name = self._site_param_name(name, "loc")

@@ -35,8 +35,28 @@ def _as_tensor(value) -> Tensor:
     return value if isinstance(value, Tensor) else Tensor(np.asarray(value))
 
 
+def _inv_softplus(y: np.ndarray) -> np.ndarray:
+    """Inverse of ``softplus`` (``log(expm1(y))``), linear for large ``y``.
+
+    ``expm1`` is only evaluated on clamped arguments so no overflow warnings
+    leak out of the large-``y`` branch of ``np.where``.
+    """
+    safe = np.clip(y, 1e-12, 20.0)
+    return np.where(y > 20.0, y, np.log(np.expm1(safe)))
+
+
 def _batch_size(predictions: Tensor) -> int:
-    return predictions.shape[0] if predictions.ndim > 0 else 1
+    """Size of the data batch, skipping any leading vectorized-sample axes.
+
+    Under ``repro.nn.vectorized_samples`` the predictions carry
+    ``sample_ndim()`` leading particle dimensions in front of the batch axis;
+    ignoring them keeps the plate's ``dataset_size / batch_size`` rescaling
+    identical to the per-particle looped execution.
+    """
+    sample_dims = F.sample_ndim()
+    if predictions.ndim <= sample_dims:
+        return 1
+    return predictions.shape[sample_dims]
 
 
 class Likelihood:
@@ -201,6 +221,11 @@ class HomoskedasticGaussian(Gaussian):
         predictions = _as_tensor(predictions)
         batch_size = _batch_size(predictions)
         scale = self._current_scale()
+        if F.sample_ndim() and isinstance(scale, Tensor) and 0 < scale.ndim < predictions.ndim:
+            # a latent scale replayed under vectorized particles carries one
+            # value per particle, (K,); align it with the (K, N, ...) leading
+            # axes so each particle's scale scores only its own predictions
+            scale = scale.reshape(scale.shape + (1,) * (predictions.ndim - scale.ndim))
         with ppl.plate(f"{self.name}.plate", size=self.dataset_size, subsample_size=batch_size):
             return ppl.sample(self.data_site, dist.Normal(predictions, scale),
                               obs=None if obs is None else _as_tensor(obs))
@@ -256,8 +281,7 @@ class HeteroskedasticGaussian(Gaussian):
         agg_scale = Tensor(np.sqrt(np.clip(agg_var.data, 1e-12, None)))
         if self.positive_scale:
             return Tensor(np.concatenate([agg_mean.data, agg_scale.data], axis=-1))
-        inv_softplus = np.where(agg_scale.data > 20, agg_scale.data, np.log(np.expm1(np.clip(agg_scale.data, 1e-12, None))))
-        return Tensor(np.concatenate([agg_mean.data, inv_softplus], axis=-1))
+        return Tensor(np.concatenate([agg_mean.data, _inv_softplus(agg_scale.data)], axis=-1))
 
     def _predictive_mean(self, aggregated_predictions: Tensor) -> Tensor:
         mean, _ = self._split(aggregated_predictions)
@@ -271,11 +295,23 @@ class Poisson(Likelihood):
     def __init__(self, dataset_size: int, name: str = "likelihood") -> None:
         super().__init__(dataset_size, event_dim=0, name=name)
 
+    _RATE_EPS = 1e-6
+
     def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:
-        return dist.Poisson(predictions.softplus() + 1e-6)
+        return dist.Poisson(predictions.softplus() + self._RATE_EPS)
 
     def aggregate_predictions(self, predictions: Tensor) -> Tensor:
-        return predictions.mean(axis=0)
+        """Average the posterior-predictive *rates*, not the raw outputs.
+
+        Averaging raw outputs and then applying the softplus link would
+        understate the mean rate (Jensen's inequality); instead the per-sample
+        rates are averaged and mapped back through the inverse link, so that
+        ``predictive_distribution(aggregate_predictions(p))`` has exactly the
+        mean of the per-sample predictive rates.
+        """
+        rates = predictions.softplus() + self._RATE_EPS
+        mean_rate = rates.mean(axis=0)
+        return Tensor(_inv_softplus(mean_rate.data - self._RATE_EPS))
 
     def error(self, aggregated_predictions: Tensor, targets: Tensor,
               reduction: str = "mean") -> float:

@@ -25,6 +25,13 @@ def _confidences_and_correct(probs, labels, from_logits: bool) -> Tuple[np.ndarr
     return confidences, correct
 
 
+def _bin_mask(confidences: np.ndarray, low: float, high: float, first: bool) -> np.ndarray:
+    """Membership mask for a ``(low, high]`` bin; the first bin is closed on
+    the left, ``[low, high]``, so a confidence of exactly 0.0 is not dropped."""
+    lower = (confidences >= low) if first else (confidences > low)
+    return lower & (confidences <= high)
+
+
 def expected_calibration_error(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
                                num_bins: int = 10, from_logits: bool = False) -> float:
     """ECE: confidence-vs-accuracy gap averaged over equal-width confidence bins."""
@@ -32,8 +39,8 @@ def expected_calibration_error(probs: Union[np.ndarray, Tensor], labels: np.ndar
     edges = np.linspace(0.0, 1.0, num_bins + 1)
     ece = 0.0
     n = len(confidences)
-    for low, high in zip(edges[:-1], edges[1:]):
-        in_bin = (confidences > low) & (confidences <= high)
+    for i, (low, high) in enumerate(zip(edges[:-1], edges[1:])):
+        in_bin = _bin_mask(confidences, low, high, first=i == 0)
         if not np.any(in_bin):
             continue
         bin_confidence = confidences[in_bin].mean()
@@ -56,7 +63,7 @@ def calibration_curve(probs: Union[np.ndarray, Tensor], labels: np.ndarray,
     bin_accuracy = np.full(num_bins, np.nan)
     bin_count = np.zeros(num_bins, dtype=np.int64)
     for i, (low, high) in enumerate(zip(edges[:-1], edges[1:])):
-        in_bin = (confidences > low) & (confidences <= high)
+        in_bin = _bin_mask(confidences, low, high, first=i == 0)
         bin_count[i] = int(in_bin.sum())
         if bin_count[i] > 0:
             bin_confidence[i] = confidences[in_bin].mean()

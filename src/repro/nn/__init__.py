@@ -9,6 +9,7 @@ verbatim.
 from . import functional
 from . import init
 from . import models
+from .functional import sample_ndim, vectorized_samples
 from .data import DataLoader, Dataset, Subset, TensorDataset, random_split
 from .modules import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d, Dropout,
                       Flatten, Identity, Linear, MaxPool2d, Module, ModuleList,
@@ -32,6 +33,8 @@ __all__ = [
     "Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR",
     # data
     "Dataset", "TensorDataset", "Subset", "DataLoader", "random_split",
+    # vectorized-sample execution mode
+    "sample_ndim", "vectorized_samples",
     # submodules
     "functional", "init", "models",
 ]

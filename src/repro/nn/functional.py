@@ -12,6 +12,7 @@ the exact mechanism the TyXe paper describes for its
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
@@ -19,6 +20,8 @@ import numpy as np
 from .tensor import Tensor, concatenate, is_grad_enabled, unbroadcast, where
 
 __all__ = [
+    "sample_ndim",
+    "vectorized_samples",
     "linear",
     "conv2d",
     "max_pool2d",
@@ -43,6 +46,43 @@ __all__ = [
     "register_dropout_handler",
     "unregister_dropout_handler",
 ]
+
+
+# --------------------------------------------------------------------------
+# Vectorized-sample execution mode.
+#
+# The BNN inference code can stack ``S`` posterior weight samples along a new
+# leading axis and run them through the network in one batched forward pass
+# instead of ``S`` Python-level passes.  ``linear``/``conv2d``/``batch_norm``
+# broadcast over such leading weight dimensions unconditionally; shape-
+# sensitive modules (``Flatten``) and batch-size bookkeeping (the likelihood
+# plate scaling) consult this context to know how many leading axes of an
+# activation are sample axes rather than data axes.
+# --------------------------------------------------------------------------
+_SAMPLE_NDIM = 0
+
+
+def sample_ndim() -> int:
+    """Number of leading vectorized-sample dimensions currently active."""
+    return _SAMPLE_NDIM
+
+
+@contextlib.contextmanager
+def vectorized_samples(ndim: int = 1):
+    """Declare that activations carry ``ndim`` extra leading sample axes.
+
+    Entered by the vectorized prediction / ELBO paths around the batched
+    network forward; nests additively.
+    """
+    global _SAMPLE_NDIM
+    if ndim < 0:
+        raise ValueError("ndim must be non-negative")
+    previous = _SAMPLE_NDIM
+    _SAMPLE_NDIM = previous + ndim
+    try:
+        yield
+    finally:
+        _SAMPLE_NDIM = previous
 
 
 # --------------------------------------------------------------------------
@@ -109,8 +149,23 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 # --------------------------------------------------------------------- linear
 def _linear_default(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
-    out = x @ weight.T
+    if weight.ndim == 3 and x.ndim == 2:
+        # shared input x (N, in) against stacked weights (S, out, in): one
+        # flat (N, in) @ (in, S*out) gemm beats S tiny batched gemms
+        s, out_features, in_features = weight.shape
+        flat = x @ weight.reshape(s * out_features, in_features).T  # (N, S*out)
+        if bias is not None and bias.shape == (s, out_features):
+            flat = flat + bias.reshape(s * out_features)  # contiguous add
+            bias = None
+        out = flat.reshape(flat.shape[0], s, out_features).transpose((1, 0, 2))
+    else:
+        w_t = weight.swapaxes(-1, -2) if weight.ndim > 2 else weight.T
+        out = x @ w_t
     if bias is not None:
+        if bias.ndim > 1 and x.ndim >= 2:
+            # sampled bias (S..., out) must broadcast over the data axis that
+            # sits between the sample axes and the feature axis
+            bias = bias.unsqueeze(-2)
         out = out + bias
     return out
 
@@ -118,7 +173,10 @@ def _linear_default(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``.
 
-    Registered as an effectful linear op.
+    ``weight`` (and ``bias``) may carry arbitrary extra leading sample
+    dimensions, e.g. ``(S, out, in)`` for a stack of ``S`` posterior weight
+    samples: the matmul broadcasts and the output gains the same leading
+    axes, ``(S, ..., N, out)``.  Registered as an effectful linear op.
     """
     return _dispatch_linear_op("linear", _linear_default, x, weight, bias)
 
@@ -155,47 +213,78 @@ def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int, stride
 
 def _conv2d_default(x: Tensor, weight: Tensor, bias: Optional[Tensor],
                     stride: int = 1, padding: int = 0) -> Tensor:
-    """Direct im2col convolution.  ``weight``: (out_c, in_c, kh, kw)."""
+    """Direct im2col convolution.  ``weight``: ``(..., out_c, in_c, kh, kw)``.
+
+    Both the input and the weight may carry extra leading sample dimensions
+    (``x``: ``(S..., N, C, H, W)``, ``weight``: ``(S..., out_c, in_c, kh, kw)``),
+    which broadcast against each other through a single batched matmul.
+    """
     xp = x.pad2d(padding) if padding else x
-    out_c, in_c, kh, kw = weight.shape
-    cols_np, out_h, out_w = _im2col(xp.data, kh, kw, stride)
-    n = xp.shape[0]
-    w_mat = weight.reshape(out_c, in_c * kh * kw)
+    out_c, in_c, kh, kw = weight.shape[-4:]
+    w_lead = weight.shape[:-4]
+    x_lead = xp.shape[:-4]
+    n, c, h, w_in = xp.shape[-4:]
+    flat_n = int(np.prod(x_lead, dtype=np.int64)) * n if x_lead else n
+
+    cols_np, out_h, out_w = _im2col(xp.data.reshape(flat_n, c, h, w_in), kh, kw, stride)
+    k_dim = c * kh * kw
+    w_mat = weight.reshape(w_lead + (out_c, k_dim))
 
     # Build output through explicit graph construction so gradients flow to
     # both input columns and the weight matrix.
-    cols = Tensor(cols_np.reshape(n * out_h * out_w, -1))
+    cols = Tensor(cols_np.reshape(x_lead + (n * out_h * out_w, k_dim)))
     cols.requires_grad = is_grad_enabled() and xp.requires_grad
     if cols.requires_grad:
         cols._prev = (xp,)
         cols._op = "im2col"
 
         def _backward_cols():
-            grad_im = _col2im(cols.grad.reshape(n, out_h, out_w, -1), xp.shape, kh, kw, stride)
-            xp._accumulate(grad_im)
+            grad_cols = cols.grad.reshape(flat_n, out_h, out_w, -1)
+            grad_im = _col2im(grad_cols, (flat_n, c, h, w_in), kh, kw, stride)
+            xp._accumulate(grad_im.reshape(xp.shape))
 
         cols._backward = _backward_cols
 
-    out_flat = cols @ w_mat.T  # (N*oh*ow, out_c)
+    w_t = w_mat.swapaxes(-1, -2) if w_mat.ndim > 2 else w_mat.T
+    out_flat = cols @ w_t  # (lead..., N*oh*ow, out_c)
     if bias is not None:
-        out_flat = out_flat + bias
-    out = out_flat.reshape(n, out_h, out_w, out_c).transpose((0, 3, 1, 2))
-    return out
+        out_flat = out_flat + (bias.unsqueeze(-2) if bias.ndim > 1 else bias)
+    lead = out_flat.shape[:-2]
+    num_lead = len(lead)
+    out = out_flat.reshape(lead + (n, out_h, out_w, out_c))
+    perm = tuple(range(num_lead)) + (num_lead, num_lead + 3, num_lead + 1, num_lead + 2)
+    return out.transpose(perm)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
            stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution over an ``(N, C, H, W)`` input.
 
-    Registered as an effectful linear op so reparameterization messengers can
-    intercept it.
+    The weight (and input) may carry extra leading sample dimensions for
+    vectorized posterior prediction; see :func:`_conv2d_default`.  Registered
+    as an effectful linear op so reparameterization messengers can intercept
+    it.
     """
     return _dispatch_linear_op("conv2d", _conv2d_default, x, weight, bias,
                                stride=stride, padding=padding)
 
 
 # -------------------------------------------------------------------- pooling
+def _fold_sample_dims(x: Tensor) -> Optional[Tuple[Tensor, Tuple[int, ...]]]:
+    """Fold leading sample dims of an ``(S..., N, C, H, W)`` input into the
+    batch axis so 4-D-only kernels apply; returns ``(folded, lead_shape)``."""
+    if x.ndim <= 4:
+        return None
+    lead = x.shape[:-3]
+    return x.reshape((-1,) + x.shape[-3:]), lead
+
+
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    folded = _fold_sample_dims(x)
+    if folded is not None:
+        x4, lead = folded
+        pooled = max_pool2d(x4, kernel_size, stride)
+        return pooled.reshape(lead + pooled.shape[1:])
     stride = stride or kernel_size
     n, c, h, w = x.shape
     out_h = (h - kernel_size) // stride + 1
@@ -230,6 +319,11 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    folded = _fold_sample_dims(x)
+    if folded is not None:
+        x4, lead = folded
+        pooled = avg_pool2d(x4, kernel_size, stride)
+        return pooled.reshape(lead + pooled.shape[1:])
     stride = stride or kernel_size
     n, c, h, w = x.shape
     out_h = (h - kernel_size) // stride + 1
@@ -248,40 +342,63 @@ def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
     """Global average pooling when ``output_size == 1`` (the only supported size)."""
     if output_size != 1:
         raise NotImplementedError("only global (1x1) adaptive average pooling is supported")
-    return x.mean(axis=(2, 3), keepdims=True)
+    return x.mean(axis=(-2, -1), keepdims=True)
 
 
 # ----------------------------------------------------------------- batch norm
 def batch_norm(x: Tensor, running_mean: np.ndarray, running_var: np.ndarray,
                weight: Optional[Tensor], bias: Optional[Tensor],
                training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
-    """Batch normalization over the channel dimension of 2-D or 4-D input."""
-    if x.ndim == 4:
-        axes = (0, 2, 3)
+    """Batch normalization over the channel dimension of 2-D or 4-D input.
+
+    A 3-D ``(S, N, C)`` or 5-D ``(S, N, C, H, W)`` input is treated as a stack
+    of ``S`` vectorized weight samples: statistics are computed per sample,
+    and the running buffers receive the same ``S`` sequential momentum
+    updates a loop of per-sample forward passes would apply — the vectorized
+    path stays numerically identical to the looped one in training mode too.
+    ``weight``/``bias`` may likewise carry a leading sample dimension,
+    ``(S, C)``.
+    """
+    if x.ndim in (4, 5):
+        axes = (0, 2, 3) if x.ndim == 4 else (1, 3, 4)
         view = (1, -1, 1, 1)
-    elif x.ndim == 2:
-        axes = (0,)
+    elif x.ndim in (2, 3):
+        axes = (0,) if x.ndim == 2 else (1,)
         view = (1, -1)
     else:
-        raise ValueError(f"batch_norm expects 2D or 4D input, got {x.ndim}D")
+        raise ValueError(f"batch_norm expects 2D-5D input, got {x.ndim}D")
+    has_sample_dim = x.ndim in (3, 5)
 
     if training:
         mean = x.mean(axis=axes, keepdims=True)
         var = x.var(axis=axes, keepdims=True)
         if running_mean is not None:
-            running_mean *= (1 - momentum)
-            running_mean += momentum * mean.data.reshape(-1)
-            running_var *= (1 - momentum)
-            running_var += momentum * var.data.reshape(-1)
+            num_features = running_mean.shape[0]
+            means = mean.data.reshape(-1, num_features)  # (S, C); S == 1 unsampled
+            variances = var.data.reshape(-1, num_features)
+            num_updates = means.shape[0]
+            # equivalent to applying the momentum update once per sample in
+            # draw order, as the looped per-sample forward passes would
+            decay = (1.0 - momentum) ** np.arange(num_updates - 1, -1, -1)
+            running_mean *= (1 - momentum) ** num_updates
+            running_mean += momentum * (decay[:, None] * means).sum(axis=0)
+            running_var *= (1 - momentum) ** num_updates
+            running_var += momentum * (decay[:, None] * variances).sum(axis=0)
     else:
         mean = Tensor(running_mean.reshape(view))
         var = Tensor(running_var.reshape(view))
 
+    def _affine_view(p: Tensor) -> Tensor:
+        if p.ndim == 1:
+            return p.reshape(*view)
+        # sampled affine parameters (S..., C) broadcast over data/spatial axes
+        return p.reshape(p.shape[:-1] + tuple(view))
+
     x_hat = (x - mean) / (var + eps).sqrt()
     if weight is not None:
-        x_hat = x_hat * weight.reshape(*view)
+        x_hat = x_hat * _affine_view(weight)
     if bias is not None:
-        x_hat = x_hat + bias.reshape(*view)
+        x_hat = x_hat + _affine_view(bias)
     return x_hat
 
 

@@ -243,7 +243,14 @@ class ModuleList(Module):
 
 
 class Linear(Module):
-    """Affine map ``y = x W^T + b``."""
+    """Affine map ``y = x W^T + b``.
+
+    The forward pass broadcasts over arbitrary leading weight dimensions: if
+    the ``weight`` parameter is (temporarily) replaced by a stack of ``S``
+    sampled weight matrices of shape ``(S, out, in)`` — as the vectorized
+    posterior-predictive path of ``repro.core`` does — a single call computes
+    all ``S`` forward passes at once, returning ``(S, N, out)``.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: Optional[np.random.Generator] = None) -> None:
@@ -267,7 +274,12 @@ class Linear(Module):
 
 
 class Conv2d(Module):
-    """2-D convolution with square kernels."""
+    """2-D convolution with square kernels.
+
+    Like :class:`Linear`, the forward pass broadcasts over leading weight
+    sample dimensions (``(S, out_c, in_c, kh, kw)``), enabling vectorized
+    multi-sample posterior prediction.
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
@@ -352,12 +364,23 @@ class AdaptiveAvgPool2d(Module):
 
 
 class Flatten(Module):
+    """Flatten trailing dimensions from ``start_dim`` onwards.
+
+    Under the vectorized-sample execution mode (``F.vectorized_samples``),
+    activations carry extra leading sample axes; a positive ``start_dim`` is
+    shifted right by that many axes so the flattening still applies to the
+    per-datapoint feature dimensions only.
+    """
+
     def __init__(self, start_dim: int = 1) -> None:
         super().__init__()
         self.start_dim = start_dim
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.flatten(self.start_dim)
+        start = self.start_dim
+        if start > 0:
+            start += F.sample_ndim()
+        return x.flatten(start)
 
 
 class ReLU(Module):

@@ -646,6 +646,13 @@ class Tensor:
     def permute(self, *axes) -> "Tensor":
         return self.transpose(*axes) if len(axes) != 2 else self.transpose(tuple(axes))
 
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (``np.swapaxes``); ``swapaxes(-1, -2)`` is the
+        batched-matmul transpose used by the vectorized-sample execution mode,
+        where a stack of ``S`` weight matrices ``(S, out, in)`` multiplies a
+        shared input through a single broadcast ``@``."""
+        return self.transpose(axis1, axis2)
+
     def broadcast_to(self, shape: Sequence[int]) -> "Tensor":
         out = self._make(np.broadcast_to(self.data, tuple(shape)).copy(), (self,), "broadcast")
         if out.requires_grad:

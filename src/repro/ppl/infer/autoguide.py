@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ...nn.tensor import Tensor
+from ...nn.tensor import Tensor, stack as _stack_tensors
 from .. import constraints
 from ..distributions import (Delta, Distribution, LowRankMultivariateNormal,
                              Normal)
@@ -101,6 +101,20 @@ class AutoGuide:
     def _site_param_name(self, name: str, kind: str) -> str:
         return f"{self.prefix}.{kind}.{name}"
 
+    def _stored_params(self, *names: str) -> Optional[Tuple[Tensor, ...]]:
+        """Fetch the named variational parameters if they all already exist.
+
+        Returns ``None`` when any is missing (the caller then runs its init
+        path).  Guides call this first so repeated invocations skip their
+        ``init_loc_fn`` — init strategies may draw from the prior, and
+        re-running them on every guide call would waste both time and RNG
+        draws.
+        """
+        store = get_param_store()
+        if all(name in store for name in names):
+            return tuple(param(name) for name in names)
+        return None
+
     # -------------------------------------------------------------- interface
     def __call__(self, *args, **kwargs) -> Dict[str, Tensor]:
         raise NotImplementedError
@@ -112,6 +126,63 @@ class AutoGuide:
     def get_distribution(self, name: str) -> Distribution:
         """The current variational distribution of one latent site."""
         raise NotImplementedError
+
+    def sample_stacked(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        """Draw ``num_samples`` joint posterior samples per latent site, stacked
+        along a new leading axis.
+
+        This is the guide-side entry point of the vectorized posterior-
+        predictive path: the returned ``{site: (num_samples, ...)}`` tensors
+        can be substituted into a network whose layers broadcast over leading
+        weight dimensions, replacing ``num_samples`` traced forward passes
+        with one batched pass.  Draws are made sample-by-sample in site order,
+        which keeps the RNG stream identical to tracing the guide
+        ``num_samples`` times (the looped fallback path).
+
+        The generic implementation does exactly that — traces the guide
+        repeatedly and stacks the recorded values — so it is correct for any
+        guide (including ones with auxiliary joint latents); subclasses with
+        factorized posteriors override it with a cheaper direct-sampling loop.
+        """
+        self._maybe_setup(*args, **kwargs)
+        stacks: "OrderedDict[str, list]" = OrderedDict((name, []) for name in self._latent_sites)
+        for _ in range(num_samples):
+            tr = trace(self).get_trace(*args, **kwargs)
+            for name in stacks:
+                stacks[name].append(tr[name]["value"])
+        return OrderedDict((name, _stack_tensors(values)) for name, values in stacks.items())
+
+    def _params_initialized(self) -> bool:
+        """Whether the guide's variational parameters already exist in the store.
+
+        Subclasses whose fast sampling paths read parameters directly override
+        this; the generic trace-based ``sample_stacked`` creates parameters as
+        a side effect and does not need it.
+        """
+        return True
+
+    def _initial_trace_values(self, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        """Run the guide once, instantiating its parameters, and return the
+        sampled site values — exactly what the looped path's first call does,
+        so first-call RNG streams stay identical."""
+        tr = trace(self).get_trace(*args, **kwargs)
+        return OrderedDict((name, tr[name]["value"]) for name in self._latent_sites)
+
+    def _stack_marginal_samples(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        """Fast ``sample_stacked`` for factorized guides: draw from each site's
+        marginal posterior directly, skipping the effect-handler machinery."""
+        self._maybe_setup(*args, **kwargs)
+        draws: "OrderedDict[str, list]" = OrderedDict((name, []) for name in self._latent_sites)
+        remaining = num_samples
+        if remaining > 0 and not self._params_initialized():
+            for name, value in self._initial_trace_values(*args, **kwargs).items():
+                draws[name].append(value)
+            remaining -= 1
+        dists = OrderedDict((name, self.get_distribution(name)) for name in self._latent_sites)
+        for _ in range(remaining):
+            for name, site_dist in dists.items():
+                draws[name].append(site_dist.rsample())
+        return OrderedDict((name, _stack_tensors(values)) for name, values in draws.items())
 
     def get_detached_distributions(self, names: Optional[Tuple[str, ...]] = None) -> Dict[str, Distribution]:
         """Return {site: distribution} with parameters detached from autograd.
@@ -157,10 +228,15 @@ class AutoNormal(AutoGuide):
         self.init_scale = init_scale
 
     def _loc_scale(self, name: str, site: Dict) -> Tuple[Tensor, Tensor]:
+        loc_name = self._site_param_name(name, "loc")
+        scale_name = self._site_param_name(name, "scale")
+        existing = self._stored_params(loc_name, scale_name)
+        if existing is not None:
+            return existing
         init_loc = self.init_loc_fn(site)
         shape = np.shape(init_loc)
-        loc = param(self._site_param_name(name, "loc"), np.asarray(init_loc, dtype=np.float64))
-        scale = param(self._site_param_name(name, "scale"),
+        loc = param(loc_name, np.asarray(init_loc, dtype=np.float64))
+        scale = param(scale_name,
                       np.full(shape, self.init_scale, dtype=np.float64),
                       constraint=constraints.positive)
         return loc, scale
@@ -181,6 +257,42 @@ class AutoNormal(AutoGuide):
         scale = store.get_param(self._site_param_name(name, "scale"))
         return Normal(loc, scale).to_event(loc.ndim)
 
+    def _params_initialized(self) -> bool:
+        store = get_param_store()
+        return all(self._site_param_name(name, "loc") in store
+                   and self._site_param_name(name, "scale") in store
+                   for name in self._latent_sites)
+
+    def sample_stacked(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        # draw the raw standard-normal noise in the same iteration-major order
+        # as num_samples traced guide runs (keeping the RNG stream identical),
+        # then reparameterize each site once with a single broadcast
+        # ``loc + scale * eps`` instead of per-draw Tensor arithmetic
+        self._maybe_setup(*args, **kwargs)
+        if not self._params_initialized():
+            # the first-ever guide invocation also instantiates the
+            # variational parameters; route it through the traced path so the
+            # RNG stream (init draws interleaved with the first sample) is
+            # identical to the looped path's first call
+            return self._stack_marginal_samples(num_samples, *args, **kwargs)
+        bases: "OrderedDict[str, Normal]" = OrderedDict()
+        for name in self._latent_sites:
+            site_dist = self.get_distribution(name)
+            base = getattr(site_dist, "base_dist", site_dist)
+            if not isinstance(base, Normal):
+                return self._stack_marginal_samples(num_samples, *args, **kwargs)
+            bases[name] = base
+        rng = get_rng()
+        shapes = {name: np.broadcast_shapes(base.loc.shape, base.scale.shape)
+                  for name, base in bases.items()}
+        eps_draws: "OrderedDict[str, list]" = OrderedDict((name, []) for name in bases)
+        for _ in range(num_samples):
+            for name in bases:
+                eps_draws[name].append(rng.standard_normal(shapes[name]))
+        return OrderedDict(
+            (name, base.loc + base.scale * Tensor(np.stack(eps_draws[name])))
+            for name, base in bases.items())
+
     def median(self, *args, **kwargs) -> Dict[str, np.ndarray]:
         self._maybe_setup(*args, **kwargs)
         store = get_param_store()
@@ -200,8 +312,12 @@ class AutoDelta(AutoGuide):
         self._maybe_setup(*args, **kwargs)
         result: Dict[str, Tensor] = OrderedDict()
         for name, site in self._latent_sites.items():
-            loc = param(self._site_param_name(name, "loc"),
-                        np.asarray(self.init_loc_fn(site), dtype=np.float64))
+            loc_name = self._site_param_name(name, "loc")
+            existing = self._stored_params(loc_name)
+            if existing is not None:
+                loc, = existing
+            else:
+                loc = param(loc_name, np.asarray(self.init_loc_fn(site), dtype=np.float64))
             result[name] = sample(name, Delta(loc, event_dim=loc.ndim))
         return result
 
@@ -209,6 +325,14 @@ class AutoDelta(AutoGuide):
         store = get_param_store()
         loc = store.get_param(self._site_param_name(name, "loc"))
         return Delta(loc, event_dim=loc.ndim)
+
+    def _params_initialized(self) -> bool:
+        store = get_param_store()
+        return all(self._site_param_name(name, "loc") in store
+                   for name in self._latent_sites)
+
+    def sample_stacked(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        return self._stack_marginal_samples(num_samples, *args, **kwargs)
 
     def median(self, *args, **kwargs) -> Dict[str, np.ndarray]:
         self._maybe_setup(*args, **kwargs)
@@ -247,6 +371,10 @@ class AutoLowRankMultivariateNormal(AutoGuide):
         self._total_dim = offset
 
     def _joint_params(self) -> Tuple[Tensor, Tensor, Tensor]:
+        existing = self._stored_params(f"{self.prefix}.loc", f"{self.prefix}.cov_factor",
+                                       f"{self.prefix}.cov_diag")
+        if existing is not None:
+            return existing
         init_loc = np.zeros(self._total_dim)
         for name, site in self._latent_sites.items():
             sl, shape = self._site_slices[name]
@@ -280,6 +408,20 @@ class AutoLowRankMultivariateNormal(AutoGuide):
         sl, shape = self._site_slices[name]
         marginal_scale = ((cov_factor ** 2).sum(axis=-1) + cov_diag).sqrt()
         return Normal(loc[sl].reshape(shape), marginal_scale[sl].reshape(shape)).to_event(len(shape))
+
+    def sample_stacked(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
+        # sample the joint low-rank Gaussian per draw (marginals would lose the
+        # cross-site correlations) and slice out the per-site values
+        self._maybe_setup(*args, **kwargs)
+        loc, cov_factor, cov_diag = self._joint_params()
+        joint_dist = LowRankMultivariateNormal(loc, cov_factor, cov_diag)
+        draws: "OrderedDict[str, list]" = OrderedDict((name, []) for name in self._latent_sites)
+        for _ in range(num_samples):
+            joint = joint_dist.rsample()
+            for name in self._latent_sites:
+                sl, shape = self._site_slices[name]
+                draws[name].append(joint[sl].reshape(shape) if shape else joint[sl].reshape(()))
+        return OrderedDict((name, _stack_tensors(values)) for name, values in draws.items())
 
     def median(self, *args, **kwargs) -> Dict[str, np.ndarray]:
         self._maybe_setup(*args, **kwargs)

@@ -140,7 +140,12 @@ class SGLDSampler:
                 potential = self.kernel.step(input_data, targets)
                 self.potentials.append(potential)
                 step_count += 1
-                if step_count > self.burn_in and step_count % self.thinning == 0:
+                # thin on the post-burn-in step counter (not the global one),
+                # so the number of collected samples is deterministic:
+                # num_samples == (total_steps - burn_in) // thinning regardless
+                # of how burn_in aligns with the thinning interval
+                post_burn_in = step_count - self.burn_in
+                if post_burn_in > 0 and post_burn_in % self.thinning == 0:
                     self._samples.append(self.kernel.current_values())
         if not initialized:
             raise ValueError("data loader was empty")

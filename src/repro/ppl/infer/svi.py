@@ -4,6 +4,15 @@
 Carlo samples of the guide; ``TraceMeanField_ELBO`` replaces the latent-site
 entropy/cross-entropy terms with analytic KL divergences where available
 (this is what gives TyXe closed-form KLs for its factorized-Gaussian guide).
+
+Both estimators accept ``vectorize_particles=True``: instead of running one
+full model execution per particle, the guide samples are stacked along a new
+leading particle dimension (see :func:`repro.ppl.poutine.stack_traces`) and
+the model is replayed *once*, carrying all ``num_particles`` weight samples
+through a single batched forward pass of the network.  The guide is still
+sampled particle-by-particle, which keeps the estimator RNG-identical to the
+looped path while removing the ``num_particles``-fold model execution — the
+interpreter-bound hot loop.
 """
 
 from __future__ import annotations
@@ -12,26 +21,54 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ...nn.functional import vectorized_samples
 from ...nn.tensor import Tensor
-from ..distributions import kl_divergence
+from ..distributions import Delta as _Delta, kl_divergence
 from ..params import get_param_store
-from ..poutine import replay, trace
+from ..poutine import replay, stack_traces, trace
 from ..poutine.trace import Trace
 
 __all__ = ["ELBO", "Trace_ELBO", "TraceMeanField_ELBO", "SVI"]
 
 
 class ELBO:
-    """Base class for evidence-lower-bound estimators."""
+    """Base class for evidence-lower-bound estimators.
 
-    def __init__(self, num_particles: int = 1) -> None:
+    ``vectorize_particles`` enables the leading-particle-dimension execution
+    mode described in the module docstring.  It requires (a) a network whose
+    layers broadcast over leading weight dimensions (all ``repro.nn`` linear,
+    conv and norm layers do) and (b) a guide covering every latent site of
+    the model; an uncovered site would receive a single shared prior draw
+    instead of one per particle, so that configuration raises ``ValueError``.
+    """
+
+    def __init__(self, num_particles: int = 1, vectorize_particles: bool = False) -> None:
         if num_particles < 1:
             raise ValueError("num_particles must be >= 1")
         self.num_particles = num_particles
+        self.vectorize_particles = vectorize_particles
 
     def _get_traces(self, model: Callable, guide: Callable, *args, **kwargs):
         guide_trace = trace(guide).get_trace(*args, **kwargs)
         model_trace = trace(replay(model, trace=guide_trace)).get_trace(*args, **kwargs)
+        return model_trace, guide_trace
+
+    def _get_vectorized_traces(self, model: Callable, guide: Callable, *args, **kwargs):
+        """Stack ``num_particles`` guide traces and replay the model once."""
+        guide_traces = [trace(guide).get_trace(*args, **kwargs)
+                        for _ in range(self.num_particles)]
+        guide_trace = stack_traces(guide_traces)
+        with vectorized_samples(1):
+            model_trace = trace(replay(model, trace=guide_trace)).get_trace(*args, **kwargs)
+        uncovered = [name for name in model_trace.stochastic_nodes()
+                     if name not in guide_trace]
+        if uncovered:
+            # such sites received one shared prior draw instead of one per
+            # particle, so the estimator would be silently wrong
+            raise ValueError(
+                "vectorize_particles=True requires the guide to cover every "
+                f"latent site of the model; not covered: {uncovered} — use the "
+                "looped estimator (vectorize_particles=False) instead")
         return model_trace, guide_trace
 
     def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
@@ -45,6 +82,12 @@ class Trace_ELBO(ELBO):
     """Monte Carlo ELBO: ``E_q[log p(x, z) - log q(z)]`` with reparameterized samples."""
 
     def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
+        if self.vectorize_particles:
+            # one batched execution: every log_prob_sum already sums over the
+            # particle dimension, so a single division by K yields the average
+            model_trace, guide_trace = self._get_vectorized_traces(model, guide, *args, **kwargs)
+            elbo = model_trace.log_prob_sum() - guide_trace.log_prob_sum()
+            return -elbo / float(self.num_particles)
         total: Optional[Tensor] = None
         for _ in range(self.num_particles):
             model_trace, guide_trace = self._get_traces(model, guide, *args, **kwargs)
@@ -62,6 +105,13 @@ class TraceMeanField_ELBO(ELBO):
     """
 
     def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:
+        if self.vectorize_particles:
+            # Monte-Carlo terms sum over the stacked particle dimension and
+            # are rescaled by 1/K; the analytic KL terms are sample-independent
+            # and appear exactly once, so they enter with full weight.
+            model_trace, guide_trace = self._get_vectorized_traces(model, guide, *args, **kwargs)
+            return -self._particle_elbo(model_trace, guide_trace,
+                                        mc_weight=1.0 / float(self.num_particles))
         total: Optional[Tensor] = None
         for _ in range(self.num_particles):
             model_trace, guide_trace = self._get_traces(model, guide, *args, **kwargs)
@@ -69,13 +119,16 @@ class TraceMeanField_ELBO(ELBO):
             total = particle if total is None else total + particle
         return -total / float(self.num_particles)
 
-    def _particle_elbo(self, model_trace: Trace, guide_trace: Trace) -> Tensor:
+    def _particle_elbo(self, model_trace: Trace, guide_trace: Trace,
+                       mc_weight: float = 1.0) -> Tensor:
         model_trace.compute_log_prob()
         guide_trace.compute_log_prob()
         elbo: Optional[Tensor] = None
 
-        def _add(term: Tensor):
+        def _add(term: Tensor, is_mc: bool = True):
             nonlocal elbo
+            if is_mc and mc_weight != 1.0:
+                term = term * mc_weight
             elbo = term if elbo is None else elbo + term
 
         # observed sites: expected log likelihood
@@ -94,7 +147,12 @@ class TraceMeanField_ELBO(ELBO):
             scale = model_site.get("scale", 1.0)
             try:
                 kl = kl_divergence(guide_site["fn"], model_site["fn"]).sum()
-                _add(-kl * scale if scale != 1.0 else -kl)
+                # Delta guide fns are rebuilt around the stacked per-particle
+                # values by stack_traces, so their "analytic" KL sums over the
+                # particle axis and needs the Monte-Carlo 1/K weight; genuine
+                # analytic KLs (e.g. Normal/Normal) are sample-independent.
+                kl_is_stacked = isinstance(guide_site["fn"], _Delta)
+                _add(-kl * scale if scale != 1.0 else -kl, is_mc=kl_is_stacked)
             except NotImplementedError:
                 _add(model_site["log_prob_sum"] - guide_site["log_prob_sum"])
         # auxiliary guide sites (e.g. the joint latent of a low-rank guide)

@@ -4,7 +4,7 @@ from .handlers import (BlockMessenger, ConditionMessenger, MaskMessenger,
                        ReplayMessenger, ScaleMessenger, SeedMessenger, block,
                        condition, mask, replay, scale, seed)
 from .runtime import Messenger, am_i_wrapped, apply_stack, get_stack, new_message
-from .trace import Trace, TraceHandler, TraceMessenger, trace
+from .trace import Trace, TraceHandler, TraceMessenger, stack_traces, trace
 
 __all__ = [
     "Messenger",
@@ -16,6 +16,7 @@ __all__ = [
     "TraceMessenger",
     "TraceHandler",
     "trace",
+    "stack_traces",
     "ReplayMessenger",
     "BlockMessenger",
     "ConditionMessenger",

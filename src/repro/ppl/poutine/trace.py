@@ -9,15 +9,15 @@ inspects to compute log-joints.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
-from ...nn.tensor import Tensor
+from ...nn.tensor import Tensor, stack as _stack_tensors
 from ..distributions import sum_rightmost
 from .runtime import Message, Messenger
 
-__all__ = ["Trace", "TraceMessenger", "TraceHandler", "trace"]
+__all__ = ["Trace", "TraceMessenger", "TraceHandler", "trace", "stack_traces"]
 
 
 class Trace:
@@ -104,6 +104,42 @@ class Trace:
             if isinstance(site.get("value"), Tensor):
                 site["value"] = site["value"].detach()
         return new
+
+
+def stack_traces(traces: Sequence["Trace"]) -> "Trace":
+    """Merge per-particle traces into one whose latent sample values carry a
+    leading particle dimension.
+
+    This is the trace-level half of the vectorized-particles execution mode:
+    ``K`` traces of the same program are collapsed into a single trace where
+    every non-observed sample site holds a ``(K, ...)``-stacked value (the
+    stack keeps autograd history, so reparameterized gradients still flow to
+    the guide parameters).  Distributions and bookkeeping fields are taken
+    from the first trace; :class:`~repro.ppl.distributions.Delta` site
+    distributions — whose location is itself a per-particle sample, as in the
+    low-rank joint guide — are rebuilt around the stacked value so their
+    log-density stays zero for every particle.  Replaying a model against the
+    stacked trace runs one batched forward pass carrying all ``K`` samples.
+    """
+    if not traces:
+        raise ValueError("stack_traces requires at least one trace")
+    from ..distributions import Delta
+
+    first = traces[0]
+    stacked = Trace()
+    for name, site in first.nodes.items():
+        node = dict(site)
+        if site.get("type") == "sample" and not site.get("is_observed"):
+            if any(name not in t for t in traces[1:]):
+                raise ValueError(f"site {name!r} is missing from some particle traces")
+            node["value"] = _stack_tensors([t[name]["value"] for t in traces])
+            node.pop("log_prob", None)
+            node.pop("log_prob_sum", None)
+            if isinstance(site.get("fn"), Delta):
+                node["fn"] = Delta(node["value"], log_density=site["fn"].log_density,
+                                   event_dim=site["fn"].event_dim)
+        stacked.nodes[name] = node
+    return stacked
 
 
 class TraceMessenger(Messenger):

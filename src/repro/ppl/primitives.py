@@ -74,6 +74,13 @@ class plate(Messenger):
     log-density of every sample statement inside by ``N / B`` — the mechanism
     the TyXe likelihoods use to weight mini-batch log-likelihoods against the
     full-dataset KL term.
+
+    Under the vectorized-particles execution mode the values inside the plate
+    carry extra *leading* sample dimensions (particles), while the plate's
+    batch dimension stays to their right; callers computing ``subsample_size``
+    from a value's shape must therefore skip ``repro.nn.sample_ndim()``
+    leading axes (as ``repro.core.likelihoods`` does) so the ``N / B``
+    rescaling is unaffected by how many particles run in parallel.
     """
 
     def __init__(self, name: str, size: int, subsample_size: Optional[int] = None,

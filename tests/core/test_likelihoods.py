@@ -158,11 +158,15 @@ class TestPoisson:
         rate = np.logaddexp(0, 0.0) + 1e-6
         assert lik.error(preds, Tensor(np.array([[2.0]]))) == pytest.approx((rate - 2.0) ** 2)
 
-    def test_aggregate(self, rng):
+    def test_aggregate_averages_rates(self, rng):
+        # aggregation must happen in rate space: softplus is convex, so
+        # averaging raw outputs first would understate the mean rate (Jensen)
         lik = tyxe.likelihoods.Poisson(dataset_size=1)
         stacked = rng.standard_normal((3, 4))
-        np.testing.assert_allclose(lik.aggregate_predictions(Tensor(stacked)).data,
-                                   stacked.mean(0))
+        agg = lik.aggregate_predictions(Tensor(stacked))
+        per_sample_rates = lik.predictive_distribution(Tensor(stacked)).rate.data
+        np.testing.assert_allclose(lik.predictive_distribution(agg).rate.data,
+                                   per_sample_rates.mean(axis=0), rtol=1e-9)
 
 
 class TestLikelihoodBase:

@@ -1,0 +1,153 @@
+"""Regression tests for the prediction-path bugfixes.
+
+Each test pins one of the fixes that shipped with the vectorized
+posterior-predictive engine:
+
+* ``MCMC_BNN.predict(num_predictions=1)`` used posterior sample index 0 (the
+  oldest, least-mixed draw) because ``np.linspace(0, total-1, 1) == [0.]``;
+  it now uses the final sample.
+* ``Poisson.aggregate_predictions`` averaged raw network outputs and applied
+  the softplus link afterwards, understating the mean rate (Jensen's
+  inequality); it now averages the per-sample rates.
+* ``SGLDSampler`` thinned on the global step counter, so the number of
+  collected samples depended on how ``burn_in`` aligned with ``thinning``;
+  it now counts post-burn-in steps.
+* ``expected_calibration_error``/``calibration_curve`` used a strict
+  ``confidences > low`` test for every bin, leaving confidence exactly 0.0
+  outside every bin; the first bin now includes its left edge.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.metrics import calibration
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl.infer import SGLD, SGLDSampler
+
+
+# --------------------------------------------------------------- MCMC indices
+class TestMCMCPredictionIndices:
+    def test_single_prediction_uses_final_sample(self):
+        np.testing.assert_array_equal(tyxe.MCMC_BNN._prediction_indices(10, 1), [9])
+        np.testing.assert_array_equal(tyxe.MCMC_BNN._prediction_indices(100, 1), [99])
+
+    def test_multi_prediction_indices_unchanged(self):
+        np.testing.assert_array_equal(tyxe.MCMC_BNN._prediction_indices(10, 2), [0, 9])
+        np.testing.assert_array_equal(tyxe.MCMC_BNN._prediction_indices(10, 10), np.arange(10))
+
+    def test_predict_with_one_sample_matches_final_weights(self, rng):
+        net = nn.Sequential(nn.Linear(2, 4, rng=rng), nn.Tanh(), nn.Linear(4, 1, rng=rng))
+        bnn = tyxe.MCMC_BNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                            tyxe.likelihoods.HomoskedasticGaussian(5, 0.1),
+                            kernel_builder=lambda model: None)
+        total = 7
+        bnn._weight_samples = {name: rng.standard_normal((total,) + bnn.net.get_parameter(name).shape)
+                               for name in bnn.param_dists}
+        x = rng.standard_normal((5, 2))
+        predicted = bnn.predict(x, num_predictions=1, aggregate=False)
+        expected = bnn.guided_forward(Tensor(x), sample_index=total - 1)
+        np.testing.assert_allclose(predicted.data[0], expected.data)
+        # and definitely not the stalest draw
+        oldest = bnn.guided_forward(Tensor(x), sample_index=0)
+        assert not np.allclose(predicted.data[0], oldest.data)
+
+
+# ------------------------------------------------------------ Poisson Jensen
+class TestPoissonRateAggregation:
+    def test_aggregated_rate_is_mean_of_per_sample_rates(self, rng):
+        lik = tyxe.likelihoods.Poisson(dataset_size=3)
+        stacked = Tensor(rng.standard_normal((8, 3)) * 2.0)
+        per_sample_rates = lik.predictive_distribution(stacked).rate.data
+        aggregated = lik.aggregate_predictions(stacked)
+        np.testing.assert_allclose(lik.predictive_distribution(aggregated).rate.data,
+                                   per_sample_rates.mean(axis=0), rtol=1e-9)
+
+    def test_old_logit_space_mean_understates_the_rate(self, rng):
+        # the Jensen gap the fix removes: softplus(mean raw) < mean softplus(raw)
+        lik = tyxe.likelihoods.Poisson(dataset_size=3)
+        stacked = Tensor(rng.standard_normal((8, 3)) * 2.0)
+        old_rate = lik.predictive_distribution(stacked.mean(axis=0)).rate.data
+        new_rate = lik.predictive_distribution(lik.aggregate_predictions(stacked)).rate.data
+        assert np.all(new_rate > old_rate)
+
+    def test_large_rates_aggregate_without_overflow(self):
+        lik = tyxe.likelihoods.Poisson(dataset_size=2)
+        stacked = Tensor(np.array([[800.0], [900.0]]))
+        with np.errstate(over="raise"):
+            aggregated = lik.aggregate_predictions(stacked)
+        # softplus is ~identity this far out, so the mean passes through
+        np.testing.assert_allclose(aggregated.data, [850.0], rtol=1e-12)
+
+    def test_error_consistent_with_aggregated_rate(self, rng):
+        lik = tyxe.likelihoods.Poisson(dataset_size=2)
+        stacked = Tensor(rng.standard_normal((5, 2, 1)))
+        aggregated = lik.aggregate_predictions(stacked)
+        targets = Tensor(np.array([[1.0], [3.0]]))
+        rate = lik.predictive_distribution(aggregated).rate.data
+        expected = ((rate - targets.data) ** 2).reshape(2, -1).sum(-1).mean()
+        assert lik.error(aggregated, targets) == pytest.approx(expected)
+
+
+# ---------------------------------------------------------------- SGLD thinning
+def _scalar_model(data, _targets):
+    mu = ppl.sample("mu", dist.Normal(0.0, 1.0))
+    ppl.sample("obs", dist.Normal(mu, 1.0), obs=data)
+
+
+class TestSGLDThinningAlignment:
+    def _run(self, burn_in, thinning, num_steps, rng):
+        batches = [(Tensor(rng.standard_normal(4)), None) for _ in range(num_steps)]
+        sampler = SGLDSampler(SGLD(_scalar_model, step_size=1e-3), burn_in=burn_in,
+                              thinning=thinning)
+        sampler.run(batches, num_epochs=1)
+        return sampler.num_samples
+
+    def test_sample_count_is_deterministic_under_misalignment(self, rng):
+        # global-step thinning would collect at steps {3, 6} (2 samples);
+        # post-burn-in thinning collects exactly (6 - 2) // 3 == 1
+        assert self._run(burn_in=2, thinning=3, num_steps=6, rng=rng) == 1
+
+    @pytest.mark.parametrize("burn_in,thinning,num_steps", [
+        (0, 1, 5), (0, 2, 7), (1, 3, 10), (4, 2, 11), (3, 5, 9),
+    ])
+    def test_sample_count_formula(self, burn_in, thinning, num_steps, rng):
+        expected = (num_steps - burn_in) // thinning
+        assert self._run(burn_in, thinning, num_steps, rng) == expected
+
+
+# -------------------------------------------------------------- calibration bins
+class TestCalibrationBinEdges:
+    def test_first_bin_includes_left_edge(self):
+        confidences = np.array([0.0, 0.05, 0.1])
+        first = calibration._bin_mask(confidences, 0.0, 0.1, first=True)
+        np.testing.assert_array_equal(first, [True, True, True])
+        # the old strict lower bound would have dropped the 0.0 sample
+        old = (confidences > 0.0) & (confidences <= 0.1)
+        assert not old[0]
+        # non-first bins keep the half-open convention (no double counting)
+        second = calibration._bin_mask(confidences, 0.1, 0.2, first=False)
+        np.testing.assert_array_equal(second, [False, False, False])
+
+    def test_boundary_confidences_are_partitioned_exactly_once(self):
+        # 10-class probabilities whose max sits exactly on bin edges
+        conf_targets = [0.1, 0.2, 0.5, 1.0]
+        rows = []
+        for c in conf_targets:
+            row = np.full(10, (1.0 - c) / 9.0)
+            row[0] = c
+            rows.append(row)
+        probs = np.stack(rows)
+        labels = np.zeros(len(rows), dtype=np.int64)
+        _, _, counts = calibration.calibration_curve(probs, labels, num_bins=10)
+        assert counts.sum() == len(rows)
+
+    def test_ece_weights_sum_to_one_with_boundary_confidences(self):
+        probs = np.array([[0.1] * 10, [1.0] + [0.0] * 9])
+        labels = np.array([0, 0])
+        # uniform row -> confidence exactly 0.1 (a bin edge); one-hot -> 1.0
+        ece = calibration.expected_calibration_error(probs, labels, num_bins=10)
+        # sample 1: conf 0.1, acc 1 -> gap 0.9; sample 2: conf 1.0, acc 1 -> gap 0
+        assert ece == pytest.approx(0.45)

@@ -1,0 +1,279 @@
+"""Equivalence suite for the leading-sample-dimension (vectorized) engine.
+
+The vectorized paths are required to be *numerically equivalent* to the
+looped reference paths under the same RNG seed, not merely statistically
+similar: guide samples are drawn in the identical stream order, and the
+batched forward pass computes the same per-sample arithmetic.  These tests
+pin that contract for
+
+* ``VariationalBNN.predict``  (looped vs ``vectorized=True``),
+* ``MCMC_BNN.predict``        (looped vs ``vectorized=True``),
+* ``Trace_ELBO`` / ``TraceMeanField_ELBO``
+  (``num_particles``-looped vs ``vectorize_particles=True``), including the
+  gradients reaching the variational parameters,
+
+for both a regression (HomoskedasticGaussian) and a classification
+(Categorical) likelihood, for MLPs and for a conv net exercising the
+``Conv2d``/``MaxPool2d``/``Flatten`` sample-dimension support.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.ppl.infer import Trace_ELBO, TraceMeanField_ELBO
+
+ATOL = 1e-8
+
+
+def _mlp(rng, in_dim=1, hidden=16, out_dim=1):
+    return nn.Sequential(nn.Linear(in_dim, hidden, rng=rng), nn.Tanh(),
+                         nn.Linear(hidden, out_dim, rng=rng))
+
+
+def _regression_bnn(rng, n, guide_kwargs=None):
+    net = _mlp(rng)
+    return tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                               tyxe.likelihoods.HomoskedasticGaussian(n, 0.1),
+                               partial(tyxe.guides.AutoNormal, init_scale=0.05,
+                                       **(guide_kwargs or {})))
+
+
+def _classification_bnn(rng, n, num_classes=3):
+    net = _mlp(rng, in_dim=2, hidden=12, out_dim=num_classes)
+    return tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                               tyxe.likelihoods.Categorical(n),
+                               partial(tyxe.guides.AutoNormal, init_scale=0.05))
+
+
+class TestVariationalPredictEquivalence:
+    def test_regression_predict_matches_looped(self, rng):
+        x = rng.standard_normal((40, 1))
+        bnn = _regression_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)  # instantiate guide parameters
+        ppl.set_rng_seed(123)
+        looped = bnn.predict(x, num_predictions=16, aggregate=False)
+        ppl.set_rng_seed(123)
+        vectorized = bnn.predict(x, num_predictions=16, aggregate=False, vectorized=True)
+        assert vectorized.shape == looped.shape == (16, 40, 1)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+
+    def test_regression_aggregated_and_evaluate_match(self, rng):
+        x = rng.standard_normal((25, 1))
+        y = np.sin(2 * x)
+        bnn = _regression_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(7)
+        agg_looped = bnn.predict(x, num_predictions=8)
+        ppl.set_rng_seed(7)
+        agg_vec = bnn.predict(x, num_predictions=8, vectorized=True)
+        np.testing.assert_allclose(agg_vec.data, agg_looped.data, atol=ATOL, rtol=0)
+        ppl.set_rng_seed(7)
+        ll_l, err_l = bnn.evaluate(x, y, num_predictions=8)
+        ppl.set_rng_seed(7)
+        ll_v, err_v = bnn.evaluate(x, y, num_predictions=8, vectorized=True)
+        assert ll_v == pytest.approx(ll_l, abs=ATOL)
+        assert err_v == pytest.approx(err_l, abs=ATOL)
+
+    def test_classification_predict_matches_looped(self, rng):
+        x = rng.standard_normal((30, 2))
+        bnn = _classification_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(5)
+        looped = bnn.predict(x, num_predictions=12, aggregate=False)
+        ppl.set_rng_seed(5)
+        vectorized = bnn.predict(x, num_predictions=12, aggregate=False, vectorized=True)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+        ppl.set_rng_seed(5)
+        agg_l = bnn.predict(x, num_predictions=12)
+        ppl.set_rng_seed(5)
+        agg_v = bnn.predict(x, num_predictions=12, vectorized=True)
+        np.testing.assert_allclose(agg_v.data, agg_l.data, atol=ATOL, rtol=0)
+
+    def test_fresh_guide_first_call_matches_looped(self, rng):
+        # the very first predict also instantiates the variational parameters;
+        # the vectorized path must reproduce the looped path's interleaved
+        # init-draw/sample-draw RNG stream on that cold start
+        x = rng.standard_normal((10, 1))
+
+        def fresh(seed):
+            ppl.clear_param_store()
+            ppl.set_rng_seed(seed)
+            return _regression_bnn(np.random.default_rng(2), len(x))
+
+        looped = fresh(9).predict(x, num_predictions=4, aggregate=False)
+        vectorized = fresh(9).predict(x, num_predictions=4, aggregate=False, vectorized=True)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+
+    def test_frozen_loc_guide_matches_looped(self, rng):
+        # the TyXe "sd only" guide configuration goes through the same path
+        x = rng.standard_normal((10, 1))
+        bnn = _regression_bnn(rng, len(x), guide_kwargs={"train_loc": False,
+                                                         "max_guide_scale": 0.1})
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(3)
+        looped = bnn.predict(x, num_predictions=4, aggregate=False)
+        ppl.set_rng_seed(3)
+        vectorized = bnn.predict(x, num_predictions=4, aggregate=False, vectorized=True)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+
+
+class TestVectorizedGuideCoverage:
+    def test_latent_likelihood_scale_matches_looped(self, rng):
+        # a guide-covered latent observation scale is replayed as a (K,)
+        # stack; it must score each particle's predictions with that
+        # particle's scale only (regression: it used to broadcast (K,) vs
+        # (K, N, 1) into (K, N, K) and silently compute a wrong loss)
+        x = rng.standard_normal((20, 1))
+        y = np.sin(2 * x)
+        net = _mlp(rng)
+        bnn = tyxe.VariationalBNN(
+            net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+            tyxe.likelihoods.HomoskedasticGaussian(len(x), dist.Normal(1.0, 0.1)),
+            partial(tyxe.guides.AutoNormal, init_scale=0.05),
+            likelihood_guide_builder=partial(tyxe.guides.AutoNormal, init_scale=0.05))
+        bnn.predict(x, num_predictions=1)
+        bnn.guide(x, y)  # instantiate the likelihood guide's parameters too
+        ppl.set_rng_seed(13)
+        loss_looped = Trace_ELBO(num_particles=4).loss(bnn.model, bnn.guide, x, y)
+        ppl.set_rng_seed(13)
+        loss_vec = Trace_ELBO(num_particles=4, vectorize_particles=True).loss(
+            bnn.model, bnn.guide, x, y)
+        assert loss_vec == pytest.approx(loss_looped, rel=1e-10)
+
+    def test_uncovered_latent_site_raises_in_vectorized_elbo(self, rng):
+        # latent scale sampled from the prior (no likelihood guide): the
+        # vectorized replay would give it one shared draw underweighted by
+        # 1/K, so the estimator must refuse
+        x = rng.standard_normal((10, 1))
+        y = np.sin(x)
+        net = _mlp(rng)
+        bnn = tyxe.VariationalBNN(
+            net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+            tyxe.likelihoods.HomoskedasticGaussian(len(x), dist.Normal(1.0, 0.1)),
+            partial(tyxe.guides.AutoNormal, init_scale=0.05))
+        bnn.predict(x, num_predictions=1)
+        Trace_ELBO(num_particles=2).loss(bnn.model, bnn.guide, x, y)  # looped works
+        with pytest.raises(ValueError, match="likelihood.scale"):
+            Trace_ELBO(num_particles=2, vectorize_particles=True).loss(
+                bnn.model, bnn.guide, x, y)
+
+    def test_uncovered_bayesian_site_raises(self, rng):
+        # the looped path samples guide-uncovered sites from the prior on each
+        # pass; a single batched execution cannot reproduce that, so the
+        # vectorized path must refuse instead of silently dropping uncertainty
+        x = rng.standard_normal((6, 1))
+        net = _mlp(rng)
+        bnn = tyxe.VariationalBNN(
+            net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+            tyxe.likelihoods.HomoskedasticGaussian(6, 0.1),
+            lambda model: tyxe.guides.AutoNormal(
+                ppl.poutine.block(model, hide=["0.bias"]), init_scale=0.05))
+        bnn.predict(x, num_predictions=1)  # looped path works
+        with pytest.raises(ValueError, match="0.bias"):
+            bnn.predict(x, num_predictions=2, vectorized=True)
+
+
+class TestConvNetPredictEquivalence:
+    def test_convnet_with_pool_and_flatten_matches_looped(self, rng):
+        x = rng.standard_normal((4, 1, 8, 8))
+        net = nn.models.small_convnet(in_channels=1, image_size=8, num_classes=3,
+                                      width=4, rng=rng)
+        bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(4),
+                                  partial(tyxe.guides.AutoNormal, init_scale=0.05))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(21)
+        looped = bnn.predict(x, num_predictions=6, aggregate=False)
+        ppl.set_rng_seed(21)
+        vectorized = bnn.predict(x, num_predictions=6, aggregate=False, vectorized=True)
+        assert vectorized.shape == (6, 4, 3)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+
+
+class TestMCMCPredictEquivalence:
+    def _bnn_with_samples(self, rng, total=9):
+        net = _mlp(rng, in_dim=2, hidden=6, out_dim=2)
+        bnn = tyxe.MCMC_BNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                            tyxe.likelihoods.Categorical(10),
+                            kernel_builder=lambda model: None)
+        bnn._weight_samples = {name: rng.standard_normal((total,) + bnn.net.get_parameter(name).shape)
+                               for name in bnn.param_dists}
+        return bnn
+
+    def test_predict_matches_looped(self, rng):
+        bnn = self._bnn_with_samples(rng)
+        x = rng.standard_normal((15, 2))
+        looped = bnn.predict(x, num_predictions=5, aggregate=False)
+        vectorized = bnn.predict(x, num_predictions=5, aggregate=False, vectorized=True)
+        np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
+        agg_l = bnn.predict(x, num_predictions=5)
+        agg_v = bnn.predict(x, num_predictions=5, vectorized=True)
+        np.testing.assert_allclose(agg_v.data, agg_l.data, atol=ATOL, rtol=0)
+
+
+class TestVectorizedELBOEquivalence:
+    @pytest.mark.parametrize("elbo_cls", [Trace_ELBO, TraceMeanField_ELBO])
+    def test_regression_loss_and_grads_match(self, rng, elbo_cls):
+        x = rng.standard_normal((20, 1))
+        y = np.sin(2 * x) + 0.1 * rng.standard_normal((20, 1))
+        bnn = _regression_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(99)
+        loss_looped = elbo_cls(num_particles=4).differentiable_loss(bnn.model, bnn.guide, x, y)
+        ppl.set_rng_seed(99)
+        loss_vec = elbo_cls(num_particles=4, vectorize_particles=True).differentiable_loss(
+            bnn.model, bnn.guide, x, y)
+        assert float(loss_vec.item()) == pytest.approx(float(loss_looped.item()), rel=1e-10)
+        params = bnn.guide_parameters()
+        assert params
+        for p in params:
+            p.grad = None
+        loss_looped.backward()
+        grads_looped = [p.grad.copy() for p in params]
+        for p in params:
+            p.grad = None
+        loss_vec.backward()
+        for g_looped, p in zip(grads_looped, params):
+            np.testing.assert_allclose(p.grad, g_looped, atol=1e-9, rtol=1e-9)
+
+    @pytest.mark.parametrize("elbo_cls", [Trace_ELBO, TraceMeanField_ELBO])
+    def test_classification_loss_matches(self, rng, elbo_cls):
+        x = rng.standard_normal((18, 2))
+        y = rng.integers(0, 3, 18)
+        bnn = _classification_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(31)
+        loss_looped = elbo_cls(num_particles=3).loss(bnn.model, bnn.guide, x, y)
+        ppl.set_rng_seed(31)
+        loss_vec = elbo_cls(num_particles=3, vectorize_particles=True).loss(
+            bnn.model, bnn.guide, x, y)
+        assert loss_vec == pytest.approx(loss_looped, rel=1e-10)
+
+    def test_single_particle_vectorized_matches(self, rng):
+        x = rng.standard_normal((10, 1))
+        y = np.sin(x)
+        bnn = _regression_bnn(rng, len(x))
+        bnn.predict(x, num_predictions=1)
+        ppl.set_rng_seed(17)
+        loss_looped = Trace_ELBO(num_particles=1).loss(bnn.model, bnn.guide, x, y)
+        ppl.set_rng_seed(17)
+        loss_vec = Trace_ELBO(num_particles=1, vectorize_particles=True).loss(
+            bnn.model, bnn.guide, x, y)
+        assert loss_vec == pytest.approx(loss_looped, rel=1e-10)
+
+    def test_fit_with_vectorized_particles_reduces_loss(self, rng):
+        x = rng.standard_normal((24, 1))
+        y = np.sin(2 * x)
+        bnn = _regression_bnn(rng, len(x))
+        loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=12, rng=rng)
+        losses = []
+        bnn.fit(loader, ppl.optim.Adam({"lr": 1e-2}), num_epochs=15, num_particles=2,
+                vectorize_particles=True,
+                callback=lambda b, e, l: losses.append(l) or False)
+        assert losses[-1] < losses[0]

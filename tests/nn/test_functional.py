@@ -140,10 +140,27 @@ class TestBatchNormAndDropout:
         out = F.batch_norm(x, np.zeros(4), np.ones(4), None, None, training=True)
         assert out.shape == (10, 4)
 
-    def test_batch_norm_rejects_3d(self, rng):
+    def test_batch_norm_rejects_out_of_range_rank(self, rng):
         with pytest.raises(ValueError):
-            F.batch_norm(Tensor(rng.standard_normal((2, 3, 4))), np.zeros(3), np.ones(3),
+            F.batch_norm(Tensor(rng.standard_normal(4)), np.zeros(4), np.ones(4),
                          None, None, training=True)
+        with pytest.raises(ValueError):
+            F.batch_norm(Tensor(rng.standard_normal((2, 2, 3, 4, 3, 3))), np.zeros(3),
+                         np.ones(3), None, None, training=True)
+
+    def test_batch_norm_vectorized_matches_per_sample_loop(self, rng):
+        # a leading sample dim normalizes per sample AND applies the same
+        # sequential running-buffer updates the looped path would
+        x = rng.standard_normal((3, 6, 4, 2, 2)) + 2.0
+        rm_vec, rv_vec = np.zeros(4), np.ones(4)
+        out = F.batch_norm(Tensor(x), rm_vec, rv_vec, None, None, training=True,
+                           momentum=0.1)
+        rm_loop, rv_loop = np.zeros(4), np.ones(4)
+        loops = [F.batch_norm(Tensor(x[s]), rm_loop, rv_loop, None, None, training=True,
+                              momentum=0.1).data for s in range(3)]
+        np.testing.assert_allclose(out.data, np.stack(loops), atol=1e-12)
+        np.testing.assert_allclose(rm_vec, rm_loop, atol=1e-12)
+        np.testing.assert_allclose(rv_vec, rv_loop, atol=1e-12)
 
     def test_dropout_eval_is_identity(self, rng):
         x = Tensor(rng.standard_normal((5, 5)))

@@ -1,5 +1,9 @@
 """Helpers shared by the benchmark modules."""
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 
 
@@ -20,3 +24,24 @@ def record(benchmark, **info):
         if isinstance(value, (np.floating, np.integer)):
             value = float(value)
         benchmark.extra_info[key] = value
+
+
+def record_bench(name: str, payload: dict) -> Path:
+    """Write a perf-trajectory file ``benchmarks/BENCH_<name>.json``.
+
+    One JSON per workload; future perf PRs extend the trajectory by rewriting
+    the same file (see ``benchmarks/README.md``), so keys should stay stable.
+    """
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    """Best wall-clock time of ``repeats`` runs of ``fn`` (damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

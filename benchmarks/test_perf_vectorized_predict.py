@@ -12,13 +12,11 @@ The measured timings are written to ``benchmarks/BENCH_predict.json`` so
 future PRs can track the trajectory of this hot path.
 """
 
-import json
-import time
 from functools import partial
-from pathlib import Path
 
 import numpy as np
-from _harness import record, run_once
+from _harness import best_of as _best_of
+from _harness import record, record_bench, run_once
 
 from repro import nn, ppl
 import repro.core as tyxe
@@ -26,7 +24,6 @@ from repro.ppl import distributions as dist
 
 NUM_PREDICTIONS = 32
 MIN_SPEEDUP = 3.0
-_REPEATS = 5
 
 
 def _make_bnn(rng, x):
@@ -37,16 +34,7 @@ def _make_bnn(rng, x):
                                        init_loc_fn=tyxe.guides.init_to_normal("radford")))
 
 
-def _best_of(fn, repeats=_REPEATS):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_vectorized_predict_speedup(benchmark):
+def test_vectorized_predict_speedup(benchmark, speedup_gate):
     rng = np.random.default_rng(0)
     x = np.linspace(-2.0, 2.0, 100).reshape(-1, 1)
     bnn = _make_bnn(rng, x)
@@ -77,17 +65,17 @@ def test_vectorized_predict_speedup(benchmark):
     record(benchmark, looped_ms=t_looped * 1e3, vectorized_ms=t_vectorized * 1e3,
            speedup=speedup, num_predictions=NUM_PREDICTIONS)
 
-    payload = {
+    # gate first: the trajectory file must only hold gate-passing numbers
+    speedup_gate(speedup, MIN_SPEEDUP,
+                 detail=f"looped {t_looped * 1e3:.2f}ms, vectorized {t_vectorized * 1e3:.2f}ms")
+
+    record_bench("predict", {
         "workload": "mlp_regression_predict",
         "num_predictions": NUM_PREDICTIONS,
         "grid_points": int(x.shape[0]),
         "looped_seconds": t_looped,
         "vectorized_seconds": t_vectorized,
         "speedup": speedup,
+        "speedup_definition": "ratio_of_best_of_times",
         "min_required_speedup": MIN_SPEEDUP,
-    }
-    (Path(__file__).parent / "BENCH_predict.json").write_text(json.dumps(payload, indent=2))
-
-    assert speedup >= MIN_SPEEDUP, (
-        f"vectorized predict only {speedup:.2f}x faster than the looped path "
-        f"(looped {t_looped * 1e3:.2f}ms, vectorized {t_vectorized * 1e3:.2f}ms)")
+    })

@@ -1,0 +1,116 @@
+"""Perf benchmark for the vectorized rendering & evaluation engine.
+
+Times posterior-view rendering of the Figure-3 Bayesian NeRF (a
+``PytorchBNN``-wrapped field rendered by :class:`VolumetricRenderer`) in both
+execution modes at ``num_posterior_samples=8`` / ``image_size=16`` and asserts
+
+* the batched engine (one forward per view over the stacked posterior-sample
+  axis, one batched compositing pass for all views, O(n) cumulative-sum
+  transmittance) is at least 3x faster than the looped reference that renders
+  each of the ``angles x samples`` scenes through its own traced pass, and
+* both paths produce identical posterior mean/std maps under the same RNG
+  seed (``atol=1e-8``) — the draws are consumed in the same order.
+
+The field is the fast-config NeRF shape with the canonical L=10 positional
+encoding; ray sampling is kept coarse so the gate measures the engine's
+per-scene overhead rather than raw gemm throughput (which is identical in
+both modes).  Looped and vectorized renders are timed in interleaved rounds
+and compared via the median per-round ratio, so machine-load drift hits both
+paths equally instead of biasing the gate.
+
+The measured timings are written to ``benchmarks/BENCH_render.json``,
+extending the perf trajectory started by ``BENCH_predict.json``.
+"""
+
+import time
+from functools import partial
+
+import numpy as np
+from _harness import record, record_bench, run_once
+
+from repro import nn, ppl
+import repro.core as tyxe
+from repro.experiments.nerf import _render_posterior_views
+from repro.nn.tensor import Tensor
+from repro.ppl import distributions as dist
+from repro.render import VolumetricRenderer, make_nerf_field
+
+NUM_POSTERIOR_SAMPLES = 8
+IMAGE_SIZE = 16
+NUM_SAMPLES_PER_RAY = 4
+NUM_ANGLES = 6
+MIN_SPEEDUP = 3.0
+_ROUNDS = 5
+
+
+def _make_nerf_bnn(rng):
+    # the Figure-3 fast-config field shape with the original NeRF's L=10
+    # positional-encoding frequencies
+    field = make_nerf_field(num_frequencies=10, hidden=24, depth=2, rng=rng)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    guide = partial(tyxe.guides.AutoNormal, init_scale=1e-2,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(field))
+    bnn = tyxe.PytorchBNN(field, prior, guide)
+    bnn.pytorch_parameters(Tensor(np.zeros((4, 3))))  # instantiate guide parameters
+    return bnn
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_vectorized_render_speedup(benchmark, speedup_gate):
+    rng = np.random.default_rng(0)
+    renderer = VolumetricRenderer(image_size=IMAGE_SIZE,
+                                  num_samples_per_ray=NUM_SAMPLES_PER_RAY)
+    angles = np.linspace(0.0, 360.0, NUM_ANGLES, endpoint=False)
+    bnn = _make_nerf_bnn(rng)
+
+    # numerical equivalence under a shared seed (same angle-major draw order)
+    ppl.set_rng_seed(42)
+    looped = _render_posterior_views(renderer, bnn, angles, NUM_POSTERIOR_SAMPLES)
+    ppl.set_rng_seed(42)
+    vectorized = _render_posterior_views(renderer, bnn, angles, NUM_POSTERIOR_SAMPLES,
+                                         vectorized=True)
+    for key in ("mean", "std"):
+        for vec, ref in zip(vectorized[key], looped[key]):
+            np.testing.assert_allclose(vec, ref, atol=1e-8, rtol=0)
+
+    # interleaved wall-clock rounds; the median ratio damps load drift
+    looped_times, vectorized_times = [], []
+    for _ in range(_ROUNDS):
+        looped_times.append(_time(lambda: _render_posterior_views(
+            renderer, bnn, angles, NUM_POSTERIOR_SAMPLES)))
+        vectorized_times.append(_time(lambda: _render_posterior_views(
+            renderer, bnn, angles, NUM_POSTERIOR_SAMPLES, vectorized=True)))
+    ratios = [lo / vec for lo, vec in zip(looped_times, vectorized_times)]
+    speedup = float(np.median(ratios))
+    t_looped = float(np.median(looped_times))
+    t_vectorized = float(np.median(vectorized_times))
+
+    run_once(benchmark, _render_posterior_views, renderer, bnn, angles,
+             NUM_POSTERIOR_SAMPLES, vectorized=True)
+    record(benchmark, looped_ms=t_looped * 1e3, vectorized_ms=t_vectorized * 1e3,
+           speedup=speedup, num_posterior_samples=NUM_POSTERIOR_SAMPLES,
+           num_angles=NUM_ANGLES, image_size=IMAGE_SIZE)
+
+    # gate first: the trajectory file must only hold gate-passing numbers
+    speedup_gate(speedup, MIN_SPEEDUP,
+                 detail=f"looped {t_looped * 1e3:.1f}ms, vectorized {t_vectorized * 1e3:.1f}ms")
+
+    record_bench("render", {
+        "workload": "bayesian_nerf_posterior_views",
+        "num_posterior_samples": NUM_POSTERIOR_SAMPLES,
+        "num_angles": NUM_ANGLES,
+        "image_size": IMAGE_SIZE,
+        "num_samples_per_ray": NUM_SAMPLES_PER_RAY,
+        "looped_seconds": t_looped,
+        "vectorized_seconds": t_vectorized,
+        "speedup": speedup,
+        # median of per-round ratios (interleaved rounds), NOT the quotient of
+        # the median times above — the two can differ slightly under load
+        "speedup_definition": "median_of_interleaved_round_ratios",
+        "min_required_speedup": MIN_SPEEDUP,
+    })

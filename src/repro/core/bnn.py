@@ -168,7 +168,31 @@ class GuidedBNN(_BNN):
                 stacks[name].append(tr[name]["value"])
         return OrderedDict((name, nn_stack(values)) for name, values in (stacks or {}).items())
 
-    def vectorized_forward(self, *args, num_samples: int = 1, **kwargs):
+    def _check_vectorized_coverage(self, samples: Dict[str, Tensor]) -> None:
+        uncovered = [name for name in self.param_dists if name not in samples]
+        if uncovered:
+            raise ValueError(
+                "vectorized forward requires the guide to cover every Bayesian "
+                f"site; not covered: {uncovered} — use the looped path "
+                "(vectorized=False) for partially guided networks")
+
+    def posterior_weight_samples(self, num_samples: int, *args, **kwargs
+                                 ) -> "OrderedDict[str, Tensor]":
+        """Stacked posterior weight draws ``{site: (num_samples, ...)}``.
+
+        Public entry point for callers that batch the forward pass themselves
+        (e.g. :meth:`repro.render.VolumetricRenderer.render_posterior`): the
+        returned stacks can be fed back through
+        ``vectorized_forward(..., samples=...)``.  Draw order is RNG-identical
+        to ``num_samples`` looped :meth:`guided_forward` calls, and the guide
+        must cover every Bayesian site.
+        """
+        samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
+        self._check_vectorized_coverage(samples)
+        return OrderedDict((name, samples[name]) for name in self.param_dists)
+
+    def vectorized_forward(self, *args, num_samples: int = 1,
+                           samples: Optional[Dict[str, Tensor]] = None, **kwargs):
         """Forward pass carrying ``num_samples`` posterior weight samples at once.
 
         All guide samples are drawn up front and substituted into the network
@@ -178,18 +202,23 @@ class GuidedBNN(_BNN):
         Equivalent to — and RNG-compatible with — ``num_samples`` calls of
         :meth:`guided_forward`, without the per-sample Python trace overhead.
 
+        ``samples`` optionally supplies pre-drawn weight stacks (from
+        :meth:`posterior_weight_samples`), e.g. when the caller pairs each
+        stacked draw with its own slice of the input batch, as the batched
+        renderer and grouped continual-learning prediction do.
+
         Requires the guide to cover every Bayesian site: the looped path
         samples uncovered sites from the prior on each pass, which a single
         batched execution cannot reproduce, so that configuration raises
         instead of silently collapsing the uncovered sites' uncertainty.
         """
-        samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
-        uncovered = [name for name in self.param_dists if name not in samples]
-        if uncovered:
+        if samples is None:
+            samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
+        elif num_samples != 1:
             raise ValueError(
-                "vectorized forward requires the guide to cover every Bayesian "
-                f"site; not covered: {uncovered} — use the looped path "
-                "(vectorized=False) for partially guided networks")
+                "pass either num_samples or pre-drawn samples, not both: the "
+                "sample count is determined by the stacks' leading axis")
+        self._check_vectorized_coverage(samples)
         values = OrderedDict((name, samples[name]) for name in self.param_dists)
         with self._substituted_params(values), nn_F.vectorized_samples(1):
             return self.net(*args, **kwargs)
@@ -241,9 +270,19 @@ class PytorchBNN(GuidedBNN):
         Because guide parameters are created lazily, a batch of data is
         required to trace the network once and instantiate them — exactly the
         behaviour the paper describes for TyXe's ``pytorch_parameters``.
+
+        The tracing forward draws from the prior (guide prototype) and the
+        freshly built guide as a side effect; the global RNG state is saved
+        and restored around it so that instantiating the parameters does not
+        shift the sampling stream the subsequent training loop consumes.
         """
         args = _as_tuple(input_data)
-        self.forward(*args)
+        rng = ppl.get_rng()
+        rng_state = rng.bit_generator.state
+        try:
+            self.forward(*args)
+        finally:
+            rng.bit_generator.state = rng_state
         return self.guide_parameters() + self.deterministic_parameters()
 
 
@@ -285,6 +324,41 @@ class _SupervisedBNN(GuidedBNN):
                     predictions.append(out.data if isinstance(out, Tensor) else np.asarray(out))
                 stacked = Tensor(np.stack(predictions))
         return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked
+
+    def predict_grouped(self, input_groups, num_predictions: int = 1, aggregate: bool = True):
+        """Posterior-predictive samples for ``G`` stacked input groups at once.
+
+        ``input_groups`` is a ``(G, N, ...)`` stack of per-group input batches
+        (e.g. one test set per continual-learning task).  Each group gets its
+        own ``num_predictions`` fresh weight draws, drawn group-major, so the
+        result is RNG-identical to calling
+        ``predict(group, num_predictions, vectorized=...)`` once per group in
+        order — but the network runs a single batched forward pass over the
+        ``G * num_predictions`` leading sample axis instead of ``G`` (or
+        ``G * num_predictions``) separate passes.
+
+        Returns ``(G, N, ...)`` aggregated predictions, or the raw
+        ``(G, num_predictions, N, ...)`` stack with ``aggregate=False``.
+        """
+        data = np.asarray(input_groups.data if isinstance(input_groups, Tensor)
+                          else input_groups)
+        if data.ndim < 2:
+            raise ValueError("input_groups must be a (G, N, ...) stack of input batches")
+        num_groups = data.shape[0]
+        with no_grad():
+            # sample_stacked draws iteration-major, so one stack of G*P draws
+            # consumes the RNG stream exactly like G sequential stacks of P
+            samples = self.posterior_weight_samples(num_groups * num_predictions,
+                                                    Tensor(data[0]))
+            repeated = Tensor(np.repeat(data, num_predictions, axis=0))  # (G*P, N, ...)
+            out = self.vectorized_forward(repeated, samples=samples)
+            raw = out.data if isinstance(out, Tensor) else np.asarray(out)
+            stacked = raw.reshape((num_groups, num_predictions) + raw.shape[1:])
+        if not aggregate:
+            return Tensor(stacked)
+        aggregated = [self.likelihood.aggregate_predictions(Tensor(group)).data
+                      for group in stacked]
+        return Tensor(np.stack(aggregated))
 
     def evaluate(self, input_data, targets, num_predictions: int = 1,
                  reduction: str = "mean", vectorized: bool = False) -> Tuple[float, float]:
@@ -432,6 +506,25 @@ class MCMC_BNN(_SupervisedBNN):
         if self._weight_samples is None:
             raise RuntimeError("call fit() before accessing posterior samples")
         return self._weight_samples
+
+    def posterior_weight_samples(self, num_samples: int, *args, **kwargs):
+        """Not supported: MCMC posteriors are stored sample chains, not a guide."""
+        raise NotImplementedError(
+            "posterior_weight_samples requires a guide-based BNN; MCMC "
+            "posteriors are fixed sample chains — use predict(..., "
+            "vectorized=True), which batches the stored samples directly")
+
+    def predict_grouped(self, input_groups, num_predictions: int = 1, aggregate: bool = True):
+        """Not supported: MCMC posteriors are stored sample chains, not a guide.
+
+        Grouped prediction draws fresh guide samples per group; for an MCMC
+        posterior every group would reuse the same deterministic sample
+        indices, so simply call ``predict(group, ..., vectorized=True)`` per
+        group — it is already a single batched forward each.
+        """
+        raise NotImplementedError(
+            "predict_grouped requires a guide-based BNN; use per-group "
+            "predict(..., vectorized=True) with MCMC posteriors")
 
     def guided_forward(self, *args, sample_index: Optional[int] = None, **kwargs):
         """Forward pass with one stored posterior sample of the weights."""

@@ -47,6 +47,9 @@ class ContinualConfig:
     batch_size: int = 60
     single_head: bool = True
     seed: int = 0
+    # evaluate per-task accuracies through one batched forward over the
+    # stacked task test sets (RNG-identical; the looped path is the default)
+    vectorized_eval: bool = False
 
     @classmethod
     def fast(cls, suite: str = "mnist") -> "ContinualConfig":
@@ -135,6 +138,39 @@ def _task_accuracy_bnn(bnn: tyxe.VariationalBNN, net: MultiHeadNet, task: Contin
     return metrics.accuracy(metrics.as_probs(agg, from_logits=True), task.test_labels)
 
 
+def _evaluate_task_accuracies(bnn: tyxe.VariationalBNN, net: MultiHeadNet,
+                              tasks: Sequence[ContinualTask], num_predictions: int,
+                              vectorized: bool = False) -> List[float]:
+    """Accuracy on every task's test set (the per-step column of Figure 4).
+
+    The looped reference calls ``predict`` once per task.  ``vectorized=True``
+    stacks all task test sets and runs ONE batched forward over the
+    ``tasks x num_predictions`` leading sample axis via
+    :meth:`~repro.core.bnn._SupervisedBNN.predict_grouped` — weight draws are
+    consumed task-major, so the accuracies are RNG-identical to the loop.
+    Tasks with mismatched test-set shapes or per-task heads cannot share one
+    batched forward; they fall back to per-task ``predict(vectorized=True)``,
+    which is likewise RNG-identical.
+    """
+    if not vectorized:
+        return [_task_accuracy_bnn(bnn, net, t, num_predictions) for t in tasks]
+    shapes = {t.test_inputs.shape for t in tasks}
+    if len(shapes) == 1 and len(net.heads) == 1:
+        net.set_active_task(tasks[0].task_id)
+        stacked = np.stack([t.test_inputs for t in tasks])  # (T, n, ...)
+        agg = bnn.predict_grouped(stacked, num_predictions=num_predictions)
+        return [metrics.accuracy(metrics.as_probs(agg[i], from_logits=True), t.test_labels)
+                for i, t in enumerate(tasks)]
+    accuracies = []
+    for task in tasks:
+        net.set_active_task(task.task_id)
+        agg = bnn.predict(nn.Tensor(task.test_inputs), num_predictions=num_predictions,
+                          aggregate=True, vectorized=True)
+        accuracies.append(metrics.accuracy(metrics.as_probs(agg, from_logits=True),
+                                           task.test_labels))
+    return accuracies
+
+
 def _task_accuracy_ml(net: MultiHeadNet, task: ContinualTask) -> float:
     net.set_active_task(task.task_id)
     with nn.no_grad():
@@ -171,8 +207,9 @@ def run_vcl(config: Optional[ContinualConfig] = None) -> ContinualResult:
         with tyxe.poutine.local_reparameterization():
             bnn.fit(loader, optim, config.epochs_per_task)
         # record accuracy on all tasks seen so far
-        accuracies = [_task_accuracy_bnn(bnn, net, t, config.num_predictions)
-                      for t in tasks[: task.task_id + 1]]
+        accuracies = _evaluate_task_accuracies(bnn, net, tasks[: task.task_id + 1],
+                                               config.num_predictions,
+                                               vectorized=config.vectorized_eval)
         state.record(task.task_id, accuracies)
         # posterior becomes the prior of the next task (Listing 6)
         update_prior_to_posterior(bnn)

@@ -49,6 +49,11 @@ class NeRFConfig:
     num_posterior_samples: int = 8
     silhouette_weight: float = 0.5
     seed: int = 0
+    # evaluate posterior views through the batched rendering engine instead of
+    # the per-angle/per-sample Python loops (RNG-identical; looped is default)
+    vectorized_eval: bool = False
+    # angles per batched forward in vectorized eval (None = all at once)
+    render_chunk_size: Optional[int] = None
 
     @classmethod
     def fast(cls) -> "NeRFConfig":
@@ -140,7 +145,20 @@ def _render_views(renderer: VolumetricRenderer, field, angles) -> List[np.ndarra
 
 
 def _render_posterior_views(renderer: VolumetricRenderer, bnn: tyxe.PytorchBNN, angles,
-                            num_samples: int) -> Dict[str, List[np.ndarray]]:
+                            num_samples: int, vectorized: bool = False,
+                            chunk_size: Optional[int] = None) -> Dict[str, List[np.ndarray]]:
+    """Posterior mean/std images per angle.
+
+    ``vectorized=True`` replaces the ``angles x num_samples`` per-scene render
+    loop with a few batched forward passes via
+    :meth:`VolumetricRenderer.render_posterior`; weight draws are consumed in
+    the same angle-major order, so the maps are RNG-identical to the loop.
+    """
+    if vectorized:
+        images, _ = renderer.render_posterior(angles, bnn, num_samples,
+                                              chunk_size=chunk_size)  # (A, S, H, W, 3)
+        return {"mean": [stack.mean(axis=0) for stack in images],
+                "std": [stack.std(axis=0) for stack in images]}
     means, stds = [], []
     with nn.no_grad():
         for angle in angles:
@@ -180,9 +198,13 @@ def run_nerf_experiment(config: Optional[NeRFConfig] = None) -> NeRFResult:
 
     # Bayesian posterior-mean errors and uncertainty maps
     bayes_train = _render_posterior_views(renderer, bayes_bnn, [t["angle"] for t in train_set],
-                                          config.num_posterior_samples)
+                                          config.num_posterior_samples,
+                                          vectorized=config.vectorized_eval,
+                                          chunk_size=config.render_chunk_size)
     bayes_test = _render_posterior_views(renderer, bayes_bnn, [t["angle"] for t in test_set],
-                                         config.num_posterior_samples)
+                                         config.num_posterior_samples,
+                                         vectorized=config.vectorized_eval,
+                                         chunk_size=config.render_chunk_size)
     bayes_train_err = float(np.mean([image_error(img, t["image"])
                                      for img, t in zip(bayes_train["mean"], train_set)]))
     bayes_test_err = float(np.mean([image_error(img, t["image"])

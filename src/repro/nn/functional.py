@@ -149,18 +149,13 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 # --------------------------------------------------------------------- linear
 def _linear_default(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
-    if weight.ndim == 3 and x.ndim == 2:
-        # shared input x (N, in) against stacked weights (S, out, in): one
-        # flat (N, in) @ (in, S*out) gemm beats S tiny batched gemms
-        s, out_features, in_features = weight.shape
-        flat = x @ weight.reshape(s * out_features, in_features).T  # (N, S*out)
-        if bias is not None and bias.shape == (s, out_features):
-            flat = flat + bias.reshape(s * out_features)  # contiguous add
-            bias = None
-        out = flat.reshape(flat.shape[0], s, out_features).transpose((1, 0, 2))
-    else:
-        w_t = weight.swapaxes(-1, -2) if weight.ndim > 2 else weight.T
-        out = x @ w_t
+    # A stacked weight (S..., out, in) broadcasts against the input through a
+    # single batched matmul, whether the input is shared (x (N, in): the
+    # sample-major output (S..., N, out) comes out contiguous, with no
+    # permutation copy — this beat the old flat (N, in) @ (in, S*out) gemm on
+    # every measured shape, bit-identically) or carries its own sample axes.
+    w_t = weight.swapaxes(-1, -2) if weight.ndim > 2 else weight.T
+    out = x @ w_t
     if bias is not None:
         if bias.ndim > 1 and x.ndim >= 2:
             # sampled bias (S..., out) must broadcast over the data axis that
@@ -328,14 +323,30 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     n, c, h, w = x.shape
     out_h = (h - kernel_size) // stride + 1
     out_w = (w - kernel_size) // stride + 1
-    parts = []
-    for i in range(kernel_size):
-        for j in range(kernel_size):
-            parts.append(x[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride])
-    total = parts[0]
-    for p in parts[1:]:
-        total = total + p
-    return total / float(kernel_size * kernel_size)
+    s0, s1, s2, s3 = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kernel_size, kernel_size),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    data = windows.mean(axis=(-2, -1))
+
+    out = Tensor(data, requires_grad=is_grad_enabled() and x.requires_grad)
+    if out.requires_grad:
+        out._prev = (x,)
+        out._op = "avg_pool2d"
+
+        def _backward():
+            grad = np.zeros_like(x.data)
+            g = out.grad / float(kernel_size * kernel_size)
+            for i in range(kernel_size):
+                for j in range(kernel_size):
+                    grad[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += g
+            x._accumulate(grad)
+
+        out._backward = _backward
+    return out
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:

@@ -94,6 +94,17 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return arr
 
 
+def _shift_right_one(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Shift ``arr`` one step along ``axis``, filling the vacated front with 0."""
+    out = np.zeros_like(arr)
+    src = [slice(None)] * arr.ndim
+    dst = [slice(None)] * arr.ndim
+    src[axis] = slice(None, -1)
+    dst[axis] = slice(1, None)
+    out[tuple(dst)] = arr[tuple(src)]
+    return out
+
+
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over the axes that were introduced or expanded by
     broadcasting so that the result has exactly ``shape``."""
@@ -517,6 +528,36 @@ class Tensor:
         return out
 
     clip = clamp
+
+    def cumsum(self, axis: int = -1, exclusive: bool = False) -> "Tensor":
+        """Cumulative sum along ``axis``; ``exclusive=True`` gives ``sum_{j<i} x_j``.
+
+        Both forward and backward are native O(n) scans.  The exclusive
+        variant shifts the inclusive partial sums right by one (a zero enters
+        at the front), so ``out_i`` is the exact sequential partial sum of the
+        first ``i`` elements — the transmittance accumulator the volumetric
+        renderer needs, without the O(n^2) strictly-lower-triangular matmul it
+        used to build.
+        """
+        ax = axis if axis >= 0 else axis + self.ndim
+        if not 0 <= ax < self.ndim:
+            raise ValueError(f"axis {axis} out of bounds for {self.ndim}-D tensor")
+        inclusive = np.cumsum(self.data, axis=ax)
+        data = _shift_right_one(inclusive, ax) if exclusive else inclusive
+        out = self._make(data, (self,), "cumsum")
+        if out.requires_grad:
+
+            def _backward():
+                # d out_i / d x_j = 1 for j <= i (inclusive) or j < i (exclusive),
+                # so the input gradient is a reversed (exclusive) cumulative sum.
+                rev = np.flip(out.grad, axis=ax)
+                acc = np.cumsum(rev, axis=ax)
+                if exclusive:
+                    acc = _shift_right_one(acc, ax)
+                self._accumulate(np.flip(acc, axis=ax))
+
+            out._backward = _backward
+        return out
 
     # ------------------------------------------------------------ reductions
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":

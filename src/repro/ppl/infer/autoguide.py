@@ -285,6 +285,14 @@ class AutoNormal(AutoGuide):
         rng = get_rng()
         shapes = {name: np.broadcast_shapes(base.loc.shape, base.scale.shape)
                   for name, base in bases.items()}
+        if len(bases) == 1:
+            # a single latent site means the iteration-major stream is one
+            # contiguous run of normal draws: fill the whole (S, ...) noise
+            # block in one generator call (bit-identical to S separate draws,
+            # which consume the underlying stream sequentially either way)
+            (name, base), = bases.items()
+            eps = rng.standard_normal((num_samples,) + shapes[name])
+            return OrderedDict([(name, base.loc + base.scale * Tensor(eps))])
         eps_draws: "OrderedDict[str, list]" = OrderedDict((name, []) for name in bases)
         for _ in range(num_samples):
             for name in bases:
@@ -332,7 +340,17 @@ class AutoDelta(AutoGuide):
                    for name in self._latent_sites)
 
     def sample_stacked(self, num_samples: int, *args, **kwargs) -> "OrderedDict[str, Tensor]":
-        return self._stack_marginal_samples(num_samples, *args, **kwargs)
+        # a Delta "draw" is just the stored point estimate and consumes no RNG,
+        # so the stack is a broadcast of each loc — no per-draw Python loop
+        self._maybe_setup(*args, **kwargs)
+        if not self._params_initialized():
+            return self._stack_marginal_samples(num_samples, *args, **kwargs)
+        store = get_param_store()
+        out: "OrderedDict[str, Tensor]" = OrderedDict()
+        for name in self._latent_sites:
+            loc = store.get_param(self._site_param_name(name, "loc"))
+            out[name] = loc.unsqueeze(0).broadcast_to((num_samples,) + loc.shape)
+        return out
 
     def median(self, *args, **kwargs) -> Dict[str, np.ndarray]:
         self._maybe_setup(*args, **kwargs)

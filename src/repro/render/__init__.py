@@ -2,7 +2,7 @@
 
 from .cameras import camera_rays, look_at_camera, ray_grid
 from .nerf import NeRFField, PositionalEncoding, make_nerf_field
-from .renderer import VolumetricRenderer
+from .renderer import VolumetricRenderer, clear_geometry_cache
 from .scenes import make_scene_dataset, train_test_angles, two_sphere_field
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "NeRFField",
     "make_nerf_field",
     "VolumetricRenderer",
+    "clear_geometry_cache",
     "two_sphere_field",
     "make_scene_dataset",
     "train_test_angles",

@@ -196,6 +196,128 @@ class TestConvNetPredictEquivalence:
         np.testing.assert_allclose(vectorized.data, looped.data, atol=ATOL, rtol=0)
 
 
+class TestPytorchBNNVectorizedForward:
+    def _pytorch_bnn(self, rng):
+        net = _mlp(rng, in_dim=3, hidden=10, out_dim=4)
+        return tyxe.PytorchBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                               partial(tyxe.guides.AutoNormal, init_scale=0.05))
+
+    def test_vectorized_forward_matches_looped_forwards(self, rng):
+        bnn = self._pytorch_bnn(rng)
+        x = Tensor(rng.standard_normal((7, 3)))
+        bnn.pytorch_parameters(x)
+        ppl.set_rng_seed(4)
+        looped = np.stack([bnn(x).data.copy() for _ in range(5)])
+        ppl.set_rng_seed(4)
+        with nn.no_grad():
+            vectorized = bnn.vectorized_forward(x, num_samples=5)
+        assert vectorized.shape == (5, 7, 4)
+        np.testing.assert_allclose(vectorized.data, looped, atol=ATOL, rtol=0)
+
+    def test_precomputed_samples_match_internal_draws(self, rng):
+        bnn = self._pytorch_bnn(rng)
+        x = Tensor(rng.standard_normal((5, 3)))
+        bnn.pytorch_parameters(x)
+        with nn.no_grad():
+            ppl.set_rng_seed(8)
+            internal = bnn.vectorized_forward(x, num_samples=3)
+            ppl.set_rng_seed(8)
+            draws = bnn.posterior_weight_samples(3, x)
+            external = bnn.vectorized_forward(x, samples=draws)
+        np.testing.assert_allclose(external.data, internal.data, atol=ATOL, rtol=0)
+
+    def test_conflicting_num_samples_and_samples_rejected(self, rng):
+        bnn = self._pytorch_bnn(rng)
+        x = Tensor(rng.standard_normal((4, 3)))
+        bnn.pytorch_parameters(x)
+        with nn.no_grad():
+            draws = bnn.posterior_weight_samples(2, x)
+            with pytest.raises(ValueError, match="not both"):
+                bnn.vectorized_forward(x, num_samples=5, samples=draws)
+
+    def test_pytorch_parameters_preserves_rng_stream(self, rng):
+        # parameter instantiation used to consume RNG draws as a side effect,
+        # shifting the sampling stream before training even started
+        x = Tensor(rng.standard_normal((4, 3)))
+        ppl.set_rng_seed(123)
+        bnn = self._pytorch_bnn(np.random.default_rng(0))
+        params = bnn.pytorch_parameters(x)
+        assert params  # the trace did run and created the guide parameters
+        after = ppl.get_rng().standard_normal(8)
+        ppl.set_rng_seed(123)
+        np.testing.assert_array_equal(after, ppl.get_rng().standard_normal(8))
+
+
+class TestPredictGroupedEquivalence:
+    def test_matches_per_group_looped_predict(self, rng):
+        x = rng.standard_normal((3, 12, 2))
+        bnn = _classification_bnn(rng, 12)
+        bnn.predict(x[0], num_predictions=1)
+        ppl.set_rng_seed(6)
+        looped = [bnn.predict(x[g], num_predictions=5, aggregate=False).data
+                  for g in range(3)]
+        ppl.set_rng_seed(6)
+        grouped = bnn.predict_grouped(x, num_predictions=5, aggregate=False)
+        assert grouped.shape == (3, 5, 12, 3)
+        np.testing.assert_allclose(grouped.data, np.stack(looped), atol=ATOL, rtol=0)
+
+    def test_aggregated_matches_per_group_predict(self, rng):
+        x = rng.standard_normal((4, 9, 1))
+        bnn = _regression_bnn(rng, 9)
+        bnn.predict(x[0], num_predictions=1)
+        ppl.set_rng_seed(14)
+        looped = [bnn.predict(x[g], num_predictions=6).data for g in range(4)]
+        ppl.set_rng_seed(14)
+        grouped = bnn.predict_grouped(x, num_predictions=6)
+        np.testing.assert_allclose(grouped.data, np.stack(looped), atol=ATOL, rtol=0)
+
+    def test_rejects_non_grouped_input(self, rng):
+        bnn = _regression_bnn(rng, 5)
+        bnn.predict(rng.standard_normal((5, 1)), num_predictions=1)
+        with pytest.raises(ValueError):
+            bnn.predict_grouped(np.zeros(3), num_predictions=2)
+
+
+class TestContinualEvaluationEquivalence:
+    def _tasks_and_bnn(self, suite, rng_seed=0):
+        from repro.experiments.continual import ContinualConfig, _make_net, _make_tasks
+
+        config = ContinualConfig.fast(suite)
+        config.train_per_class = 4
+        config.test_per_class = 3
+        config.image_size = 8 if suite == "cifar" else 4
+        tasks = _make_tasks(config)
+        net = _make_net(config, np.random.default_rng(rng_seed))
+        bnn = tyxe.VariationalBNN(net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0)),
+                                  tyxe.likelihoods.Categorical(len(tasks[0].train_inputs)),
+                                  partial(tyxe.guides.AutoNormal, init_scale=0.05))
+        bnn.predict(tasks[0].test_inputs, num_predictions=1)
+        return tasks, net, bnn
+
+    @pytest.mark.parametrize("suite", ["mnist", "cifar"])
+    def test_vectorized_accuracies_match_looped(self, suite):
+        from repro.experiments.continual import _evaluate_task_accuracies
+
+        tasks, net, bnn = self._tasks_and_bnn(suite)
+        ppl.set_rng_seed(9)
+        looped = _evaluate_task_accuracies(bnn, net, tasks, 4, vectorized=False)
+        ppl.set_rng_seed(9)
+        vectorized = _evaluate_task_accuracies(bnn, net, tasks, 4, vectorized=True)
+        assert looped == vectorized
+
+    def test_mismatched_test_set_sizes_fall_back_to_per_task(self):
+        from repro.experiments.continual import _evaluate_task_accuracies
+
+        tasks, net, bnn = self._tasks_and_bnn("mnist")
+        tasks[0].test_inputs = tasks[0].test_inputs[:-1]
+        tasks[0].test_labels = tasks[0].test_labels[:-1]
+        ppl.set_rng_seed(21)
+        looped = _evaluate_task_accuracies(bnn, net, tasks, 3, vectorized=False)
+        ppl.set_rng_seed(21)
+        vectorized = _evaluate_task_accuracies(bnn, net, tasks, 3, vectorized=True)
+        assert looped == vectorized
+
+
 class TestMCMCPredictEquivalence:
     def _bnn_with_samples(self, rng, total=9):
         net = _mlp(rng, in_dim=2, hidden=6, out_dim=2)

@@ -105,6 +105,31 @@ class TestPooling:
         out = F.avg_pool2d(x, 2, 2)
         np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
 
+    def test_avg_pool_overlapping_stride(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        out = F.avg_pool2d(Tensor(x), 3, 1)
+        expected = np.zeros((2, 3, 4, 4))
+        for i in range(4):
+            for j in range(4):
+                expected[:, :, i, j] = x[:, :, i:i + 3, j:j + 3].mean(axis=(-2, -1))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_avg_pool_gradcheck(self, grad_check, rng):
+        grad_check(lambda x: (F.avg_pool2d(x, 2, 2) ** 2).sum(),
+                   rng.standard_normal((2, 2, 4, 4)), atol=1e-4)
+
+    def test_avg_pool_overlapping_gradcheck(self, grad_check, rng):
+        grad_check(lambda x: (F.avg_pool2d(x, 2, 1) ** 2).sum(),
+                   rng.standard_normal((1, 2, 4, 4)), atol=1e-4)
+
+    def test_avg_pool_folds_leading_sample_dims(self, rng):
+        x = rng.standard_normal((3, 2, 2, 6, 6))
+        pooled = F.avg_pool2d(Tensor(x), 2)
+        assert pooled.shape == (3, 2, 2, 3, 3)
+        for s in range(3):
+            np.testing.assert_allclose(pooled.data[s], F.avg_pool2d(Tensor(x[s]), 2).data,
+                                       atol=1e-12)
+
     def test_adaptive_avg_pool_global(self, rng):
         x = rng.standard_normal((2, 3, 5, 5))
         out = F.adaptive_avg_pool2d(Tensor(x), 1)

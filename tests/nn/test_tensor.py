@@ -241,6 +241,54 @@ class TestReductions:
         np.testing.assert_array_equal(Tensor(data).argmax(axis=1), data.argmax(axis=1))
 
 
+class TestCumsum:
+    def test_inclusive_matches_numpy(self, rng):
+        data = rng.standard_normal((3, 5, 7))
+        for axis in (-1, 0, 1, 2):
+            np.testing.assert_allclose(Tensor(data).cumsum(axis=axis).data,
+                                       np.cumsum(data, axis=axis))
+
+    def test_exclusive_matches_triangular_matmul(self, rng):
+        # the renderer's transmittance used to be built from this O(n^2) matmul
+        data = rng.standard_normal((4, 6))
+        lower = np.tril(np.ones((6, 6)), k=-1).T
+        np.testing.assert_allclose(Tensor(data).cumsum(axis=-1, exclusive=True).data,
+                                   data @ lower, atol=1e-12)
+
+    def test_exclusive_starts_at_zero(self, rng):
+        out = Tensor(rng.standard_normal((2, 5))).cumsum(axis=-1, exclusive=True)
+        np.testing.assert_allclose(out.data[:, 0], 0.0)
+
+    def test_inclusive_gradcheck(self, grad_check, rng):
+        grad_check(lambda t: (t.cumsum(axis=-1) ** 2).sum(),
+                   rng.standard_normal((3, 6)), atol=1e-4)
+
+    def test_exclusive_gradcheck(self, grad_check, rng):
+        grad_check(lambda t: (t.cumsum(axis=-1, exclusive=True) ** 2).sum(),
+                   rng.standard_normal((3, 6)), atol=1e-4)
+
+    def test_gradient_matches_triangular_matmul_reference(self, rng):
+        data = rng.standard_normal((4, 8))
+        seed = rng.standard_normal((4, 8))
+        x = Tensor(data, requires_grad=True)
+        x.cumsum(axis=-1, exclusive=True).backward(seed)
+        ref = Tensor(data, requires_grad=True)
+        (ref @ Tensor(np.tril(np.ones((8, 8)), k=-1).T)).backward(seed)
+        np.testing.assert_allclose(x.grad, ref.grad, atol=1e-12)
+
+    def test_axis_out_of_bounds_raises(self, rng):
+        with pytest.raises(ValueError):
+            Tensor(rng.standard_normal((2, 3))).cumsum(axis=2)
+
+    def test_middle_axis_gradient(self, rng):
+        data = rng.standard_normal((2, 4, 3))
+        x = Tensor(data, requires_grad=True)
+        x.cumsum(axis=1).sum().backward()
+        # d/dx_j sum_i out_i = number of outputs j contributes to
+        expected = np.broadcast_to(np.arange(4, 0, -1.0)[None, :, None], (2, 4, 3))
+        np.testing.assert_allclose(x.grad, expected)
+
+
 class TestShaping:
     def test_reshape_backward(self, rng):
         x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)

@@ -1,46 +1,51 @@
 """Benchmark E1 — Figure 1: Bayesian nonlinear regression (three panels).
 
-Regenerates the paper's Figure 1 series: predictive mean/std over the input
-grid for (a) mean-field VI with local reparameterization, (b) the same
-posterior with shared weight samples, and (c) HMC.  The qualitative check is
-the shape of the uncertainty: on the data clusters the predictive std should
-be close to the observation noise (0.1), in the gap between the clusters it
-should be clearly larger, with HMC showing the strongest contrast.
+Regenerates the paper's Figure 1 series through the ``fig1-regression``
+registry entry: predictive mean/std over the input grid for (a) mean-field
+VI with local reparameterization, (b) the same posterior with shared weight
+samples, and (c) HMC.  The qualitative check is the shape of the
+uncertainty: on the data clusters the predictive std should be close to the
+observation noise (0.1), in the gap between the clusters it should be
+clearly larger, with HMC showing the strongest contrast.
 """
 
 from _harness import record, run_once
 
-from repro.experiments.regression import (RegressionConfig, run_hmc_regression,
-                                          run_variational_regression)
+from repro.experiments.api import get_experiment
+
+SPEC = get_experiment("fig1-regression")
 
 
 def test_fig1a_local_reparameterization(benchmark):
-    result = run_once(benchmark, run_variational_regression, RegressionConfig(),
-                      local_reparam_predict=True)
-    record(benchmark, method=result.method,
-           on_data_std=result.on_data_std, in_between_std=result.in_between_std,
-           train_log_likelihood=result.train_log_likelihood,
-           train_squared_error=result.train_squared_error)
-    assert result.train_squared_error < 0.05
-    assert result.in_between_std > result.on_data_std
+    result = run_once(benchmark, SPEC.run,
+                      overrides={"panels": "local_reparameterization"})
+    panel = result.raw["local_reparameterization"]
+    record(benchmark, method=panel.method,
+           on_data_std=panel.on_data_std, in_between_std=panel.in_between_std,
+           train_log_likelihood=panel.train_log_likelihood,
+           train_squared_error=panel.train_squared_error)
+    assert panel.train_squared_error < 0.05
+    assert panel.in_between_std > panel.on_data_std
 
 
 def test_fig1b_shared_weight_samples(benchmark):
-    result = run_once(benchmark, run_variational_regression, RegressionConfig(),
-                      local_reparam_predict=False)
-    record(benchmark, method=result.method,
-           on_data_std=result.on_data_std, in_between_std=result.in_between_std,
-           train_squared_error=result.train_squared_error)
-    assert result.train_squared_error < 0.05
-    assert result.in_between_std > result.on_data_std
+    result = run_once(benchmark, SPEC.run,
+                      overrides={"panels": "shared_weight_samples"})
+    panel = result.raw["shared_weight_samples"]
+    record(benchmark, method=panel.method,
+           on_data_std=panel.on_data_std, in_between_std=panel.in_between_std,
+           train_squared_error=panel.train_squared_error)
+    assert panel.train_squared_error < 0.05
+    assert panel.in_between_std > panel.on_data_std
 
 
 def test_fig1c_hmc(benchmark):
-    result = run_once(benchmark, run_hmc_regression, RegressionConfig())
+    result = run_once(benchmark, SPEC.run, overrides={"panels": "hmc"})
+    panel = result.raw["hmc"]
     record(benchmark, method="hmc",
-           on_data_std=result.on_data_std, in_between_std=result.in_between_std,
-           train_squared_error=result.train_squared_error,
-           mean_accept_prob=result.extra["mean_accept_prob"])
-    assert result.train_squared_error < 0.05
+           on_data_std=panel.on_data_std, in_between_std=panel.in_between_std,
+           train_squared_error=panel.train_squared_error,
+           mean_accept_prob=panel.extra["mean_accept_prob"])
+    assert panel.train_squared_error < 0.05
     # HMC: wide in-between uncertainty, tight fit on the data clusters
-    assert result.in_between_std > 1.2 * result.on_data_std
+    assert panel.in_between_std > 1.2 * panel.on_data_std

@@ -1,58 +1,36 @@
 """Benchmark E3 — Figure 2: calibration curves and test/OOD entropy CDFs.
 
-Regenerates the two panels of the paper's Figure 2 for the ML baseline and
-the mean-field BNN: (a) reliability curves on the test set, (b) the empirical
-CDF of the predictive entropy on test and OOD data.  The paper's qualitative
-finding is that the mean-field BNN is better calibrated than ML and assigns
-higher entropy to OOD inputs relative to test inputs.
+Regenerates the two panels of the paper's Figure 2 through the
+``fig2-calibration`` registry entry, for the ML baseline and the mean-field
+BNN: (a) reliability curves on the test set, (b) the empirical CDF of the
+predictive entropy on test and OOD data.  The paper's qualitative finding is
+that the mean-field BNN is better calibrated than ML and assigns higher
+entropy to OOD inputs relative to test inputs.
 """
 
 import numpy as np
 from _harness import record, run_once
 
-from repro import metrics
-from repro.datasets import make_image_classification_data
-from repro.experiments.image_classification import (ImageClassificationConfig, figure2_curves,
-                                                    run_inference_comparison)
+from repro.experiments.api import get_experiment
 
-
-def _run_fig2():
-    config = ImageClassificationConfig()
-    results = run_inference_comparison(config, methods=("ml", "mf"))
-    data = make_image_classification_data(
-        num_classes=config.num_classes, image_size=config.image_size, channels=config.channels,
-        train_per_class=config.train_per_class, test_per_class=config.test_per_class,
-        noise_scale=config.noise_scale, seed=config.seed)
-    curves = figure2_curves(results, labels=data.test_labels)
-    return results, curves, data
+SPEC = get_experiment("fig2-calibration")
 
 
 def test_fig2_calibration_and_entropy(benchmark):
-    results, curves, data = run_once(benchmark, _run_fig2)
+    result = run_once(benchmark, SPEC.run)
+    record(benchmark, **result.metrics)
+    curves = result.raw["curves"]
 
-    for method, result in results.items():
-        test_entropy = float(metrics.predictive_entropy(result.test_probs).mean())
-        ood_entropy = float(metrics.predictive_entropy(result.ood_probs).mean())
-        record(benchmark, **{f"{method}_mean_test_entropy": test_entropy,
-                             f"{method}_mean_ood_entropy": ood_entropy,
-                             f"{method}_ece": metrics.expected_calibration_error(
-                                 result.test_probs, data.test_labels)})
+    # Figure 2(a): the mean-field reliability curve deviates less from the
+    # diagonal (the registry runner reports the mean |confidence - accuracy|
+    # gap over the populated bins)
+    assert result.metrics["mf_calibration_gap"] < result.metrics["ml_calibration_gap"]
 
-    # Figure 2(a): the mean-field reliability curve deviates less from the diagonal
-    def calibration_gap(method):
-        entry = curves[method]
-        valid = entry["bin_count"] > 0
-        return float(np.nanmean(np.abs(entry["bin_confidence"][valid]
-                                       - entry["bin_accuracy"][valid])))
-
-    assert calibration_gap("mf") < calibration_gap("ml")
-
-    # Figure 2(b): for both methods OOD data has higher predictive entropy than test
-    # data, and the entropy CDFs are valid (monotone, ending at 1)
+    # Figure 2(b): for both methods OOD data has higher predictive entropy than
+    # test data, and the entropy CDFs are valid (monotone, ending at 1)
     for method in ("ml", "mf"):
         entry = curves[method]
         assert np.all(np.diff(entry["test_entropy_cdf"]) >= -1e-12)
         assert entry["test_entropy_cdf"][-1] == 1.0
-        mean_test = metrics.predictive_entropy(results[method].test_probs).mean()
-        mean_ood = metrics.predictive_entropy(results[method].ood_probs).mean()
-        assert mean_ood > mean_test
+        assert (result.metrics[f"{method}_mean_ood_entropy"]
+                > result.metrics[f"{method}_mean_test_entropy"])

@@ -1,33 +1,30 @@
 """Benchmark E5 — Figure 3: deterministic vs. Bayesian neural radiance fields.
 
-Regenerates the paper's Figure 3 comparison: reconstruction error on a
-held-out sector of viewing angles for the deterministic NeRF and the
-pseudo-Bayesian ``PytorchBNN`` variant, plus the predictive-uncertainty maps.
-The paper reports 9.4e-3 (deterministic) vs 8.1e-3 (Bayesian) held-out error;
-the shape to reproduce is (a) the Bayesian model generalizes better to unseen
-angles and (b) its predictive uncertainty is higher on held-out views than on
-training views.
+Regenerates the paper's Figure 3 comparison through the ``fig3-nerf``
+registry entry: reconstruction error on a held-out sector of viewing angles
+for the deterministic NeRF and the pseudo-Bayesian ``PytorchBNN`` variant,
+plus the predictive-uncertainty maps.  The paper reports 9.4e-3
+(deterministic) vs 8.1e-3 (Bayesian) held-out error; the shape to reproduce
+is (a) the Bayesian model generalizes better to unseen angles and (b) its
+predictive uncertainty is higher on held-out views than on training views.
 """
 
 from _harness import record, run_once
 
-from repro.experiments.nerf import NeRFConfig, run_nerf_experiment
+from repro.experiments.api import get_experiment
+
+SPEC = get_experiment("fig3-nerf")
 
 
 def test_fig3_nerf_out_of_distribution_views(benchmark):
-    result = run_once(benchmark, run_nerf_experiment, NeRFConfig())
-    record(benchmark,
-           deterministic_heldout_error=result.deterministic_heldout_error,
-           bayesian_heldout_error=result.bayesian_heldout_error,
-           deterministic_train_error=result.deterministic_train_error,
-           bayesian_train_error=result.bayesian_train_error,
-           train_uncertainty=result.train_uncertainty,
-           heldout_uncertainty=result.heldout_uncertainty)
+    result = run_once(benchmark, SPEC.run)
+    record(benchmark, **result.metrics)
+    metrics = result.metrics
 
     # paper shape: the Bayesian NeRF reconstructs held-out angles better
-    assert result.bayesian_heldout_error < result.deterministic_heldout_error
+    assert metrics["bayesian_heldout_error"] < metrics["deterministic_heldout_error"]
     # and its uncertainty is informative: higher on unseen angles than on training views
-    assert result.heldout_uncertainty > result.train_uncertainty
+    assert metrics["heldout_uncertainty"] > metrics["train_uncertainty"]
     # both models fit the training views reasonably well
-    assert result.deterministic_train_error < 0.02
-    assert result.bayesian_train_error < 0.02
+    assert metrics["deterministic_train_error"] < 0.02
+    assert metrics["bayesian_train_error"] < 0.02

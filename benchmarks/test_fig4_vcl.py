@@ -1,47 +1,46 @@
 """Benchmark E6 — Figure 4: variational continual learning vs. maximum likelihood.
 
-Regenerates the paper's Figure 4: mean accuracy over all tasks seen so far,
-after training on each task of the Split-MNIST-style and Split-CIFAR-style
-suites.  The paper's qualitative result is that the ML baseline forgets
-earlier tasks as training progresses while VCL (prior <- posterior between
-tasks) retains substantially higher accuracy on them.
+Regenerates the paper's Figure 4 through the ``fig4-vcl`` registry entry:
+mean accuracy over all tasks seen so far, after training on each task of the
+Split-MNIST-style and Split-CIFAR-style suites.  The paper's qualitative
+result is that the ML baseline forgets earlier tasks as training progresses
+while VCL (prior <- posterior between tasks) retains substantially higher
+accuracy on them.
 """
 
 import numpy as np
 from _harness import record, run_once
 
-from repro.experiments.continual import ContinualConfig, run_ml_baseline, run_vcl
+from repro.experiments.api import get_experiment
+
+SPEC = get_experiment("fig4-vcl")
 
 
-def _run_suite(suite: str, num_tasks: int):
-    config = ContinualConfig(suite=suite, num_tasks=num_tasks)
-    ml = run_ml_baseline(config)
-    vcl = run_vcl(config)
-    return ml, vcl
+def _record_suite(benchmark, result, suite):
+    record(benchmark,
+           ml_final_mean_accuracy=result.metrics[f"{suite}_ml_final_mean_accuracy"],
+           vcl_final_mean_accuracy=result.metrics[f"{suite}_vcl_final_mean_accuracy"],
+           ml_forgetting=result.metrics[f"{suite}_ml_forgetting"],
+           vcl_forgetting=result.metrics[f"{suite}_vcl_forgetting"],
+           ml_curve=str([round(a, 3) for a in result.metrics[f"{suite}_ml_mean_accuracies"]]),
+           vcl_curve=str([round(a, 3) for a in result.metrics[f"{suite}_vcl_mean_accuracies"]]))
 
 
 def test_fig4_split_mnist(benchmark):
-    ml, vcl = run_once(benchmark, _run_suite, "mnist", 5)
-    record(benchmark,
-           ml_final_mean_accuracy=ml.mean_accuracies[-1],
-           vcl_final_mean_accuracy=vcl.mean_accuracies[-1],
-           ml_forgetting=ml.forgetting, vcl_forgetting=vcl.forgetting,
-           ml_curve=str([round(a, 3) for a in ml.mean_accuracies]),
-           vcl_curve=str([round(a, 3) for a in vcl.mean_accuracies]))
+    result = run_once(benchmark, SPEC.run, overrides={"suite": "mnist", "num_tasks": 5})
+    _record_suite(benchmark, result, "mnist")
     # paper shape: VCL retains more accuracy and forgets less than ML
-    assert vcl.mean_accuracies[-1] > ml.mean_accuracies[-1]
-    assert vcl.forgetting < ml.forgetting
+    assert (result.metrics["mnist_vcl_final_mean_accuracy"]
+            > result.metrics["mnist_ml_final_mean_accuracy"])
+    assert result.metrics["mnist_vcl_forgetting"] < result.metrics["mnist_ml_forgetting"]
     # both methods learn each task when it is current (diagonal of the matrix)
+    ml = result.raw["mnist"]["ml"]
     assert np.nanmean(np.diag(ml.accuracy_matrix)) > 0.8
 
 
 def test_fig4_split_cifar(benchmark):
-    ml, vcl = run_once(benchmark, _run_suite, "cifar", 6)
-    record(benchmark,
-           ml_final_mean_accuracy=ml.mean_accuracies[-1],
-           vcl_final_mean_accuracy=vcl.mean_accuracies[-1],
-           ml_forgetting=ml.forgetting, vcl_forgetting=vcl.forgetting,
-           ml_curve=str([round(a, 3) for a in ml.mean_accuracies]),
-           vcl_curve=str([round(a, 3) for a in vcl.mean_accuracies]))
-    assert vcl.mean_accuracies[-1] > ml.mean_accuracies[-1]
-    assert vcl.forgetting < ml.forgetting
+    result = run_once(benchmark, SPEC.run, overrides={"suite": "cifar", "num_tasks": 6})
+    _record_suite(benchmark, result, "cifar")
+    assert (result.metrics["cifar_vcl_final_mean_accuracy"]
+            > result.metrics["cifar_ml_final_mean_accuracy"])
+    assert result.metrics["cifar_vcl_forgetting"] < result.metrics["cifar_ml_forgetting"]

@@ -1,9 +1,10 @@
 """Benchmark E2 — Table 1: Bayesian ResNet predictive performance.
 
-Regenerates the paper's Table 1: NLL, accuracy, expected calibration error
-and OOD-detection AUROC for maximum likelihood, MAP, mean-field VI (frozen
-and learned means), and last-layer mean-field / low-rank guides on the
-synthetic CIFAR-like dataset.  The qualitative expectations (paper shape):
+Regenerates the paper's Table 1 through the ``table1-resnet`` registry
+entry: NLL, accuracy, expected calibration error and OOD-detection AUROC for
+maximum likelihood, MAP, mean-field VI (frozen and learned means), and
+last-layer mean-field / low-rank guides on the synthetic CIFAR-like dataset.
+The qualitative expectations (paper shape):
 
 * ML has the worst NLL, ECE and OOD AUROC,
 * the variational methods improve calibration and OOD detection,
@@ -12,21 +13,21 @@ synthetic CIFAR-like dataset.  The qualitative expectations (paper shape):
 
 from _harness import record, run_once
 
-from repro.experiments.image_classification import (ImageClassificationConfig,
-                                                    run_inference_comparison, table1_rows)
+from repro.experiments.api import get_experiment
+from repro.experiments.image_classification import ALL_METHODS
+
+SPEC = get_experiment("table1-resnet")
 
 
 def test_table1_full_comparison(benchmark):
-    results = run_once(benchmark, run_inference_comparison, ImageClassificationConfig())
-    rows = table1_rows(results)
-    for row in rows:
-        prefix = row["method"]
-        record(benchmark, **{f"{prefix}_nll": row["nll"],
-                             f"{prefix}_accuracy": row["accuracy"],
-                             f"{prefix}_ece": row["ece"],
-                             f"{prefix}_ood_auroc": row["ood_auroc"]})
+    result = run_once(benchmark, SPEC.run)
+    record(benchmark, **result.metrics)
 
-    by_method = {r["method"]: r for r in rows}
+    def row(method):
+        return {key: result.metrics[f"{method}_{key}"]
+                for key in ("nll", "accuracy", "ece", "ood_auroc")}
+
+    by_method = {method: row(method) for method in ALL_METHODS}
     ml, mf = by_method["ml"], by_method["mf"]
     # shape of the paper's Table 1: variational inference improves NLL,
     # calibration and OOD detection over maximum likelihood
@@ -38,4 +39,4 @@ def test_table1_full_comparison(benchmark):
     # MAP also improves NLL over ML (Table 1: 0.29 vs 0.33)
     assert by_method["map"]["nll"] < ml["nll"]
     # every method performs far above chance
-    assert all(r["accuracy"] > 0.5 for r in rows)
+    assert all(r["accuracy"] > 0.5 for r in by_method.values())

@@ -1,34 +1,30 @@
 """Benchmark E4 — Table 2: deterministic vs. Bayesian GNNs on a citation graph.
 
-Regenerates the paper's Table 2 (NLL, accuracy and ECE for ML, MAP and
-mean-field VI, mean ± two standard errors over several seeds) on the
-synthetic stochastic-block-model citation graph.  The paper's qualitative
-ordering is that variational inference improves the negative log likelihood
-over maximum likelihood while matching or improving accuracy; MAP lands in
-between on NLL.
+Regenerates the paper's Table 2 through the ``table2-gnn`` registry entry
+(NLL, accuracy and ECE for ML, MAP and mean-field VI, mean ± two standard
+errors over several seeds) on the synthetic stochastic-block-model citation
+graph.  The paper's qualitative ordering is that variational inference
+improves the negative log likelihood over maximum likelihood while matching
+or improving accuracy; MAP lands in between on NLL.
 """
 
 from _harness import record, run_once
 
-from repro.experiments.gnn_classification import GNNConfig, run_gnn_comparison, table2_rows
+from repro.experiments.api import get_experiment
+from repro.experiments.gnn_classification import GNN_METHODS
+
+SPEC = get_experiment("table2-gnn")
 
 
 def test_table2_gnn_comparison(benchmark):
-    results = run_once(benchmark, run_gnn_comparison, GNNConfig())
-    rows = table2_rows(results)
-    for row in rows:
-        prefix = row["method"]
-        record(benchmark, **{f"{prefix}_nll": row["nll"],
-                             f"{prefix}_nll_2se": row["nll_2se"],
-                             f"{prefix}_accuracy": row["accuracy"],
-                             f"{prefix}_ece": row["ece"]})
+    result = run_once(benchmark, SPEC.run)
+    record(benchmark, **result.metrics)
+    metrics = result.metrics
 
-    by_method = {r["method"]: r for r in rows}
-    ml, map_, mf = by_method["ml"], by_method["map"], by_method["mf"]
     # Table 2 shape: Bayesian treatments improve NLL over maximum likelihood...
-    assert mf["nll"] < ml["nll"]
-    assert map_["nll"] < ml["nll"]
+    assert metrics["mf_nll"] < metrics["ml_nll"]
+    assert metrics["map_nll"] < metrics["ml_nll"]
     # ...and accuracy does not degrade (paper: 75.6 -> 78.0)
-    assert mf["accuracy"] >= ml["accuracy"] - 0.02
+    assert metrics["mf_accuracy"] >= metrics["ml_accuracy"] - 0.02
     # every method does far better than the 1-in-num_classes chance level
-    assert all(r["accuracy"] > 0.5 for r in rows)
+    assert all(metrics[f"{m}_accuracy"] > 0.5 for m in GNN_METHODS)

@@ -19,7 +19,8 @@ import numpy as np
 from repro import nn, ppl
 import repro.core as tyxe
 from repro.datasets import make_citation_graph
-from repro.experiments.gnn_classification import GNNConfig, run_gnn_comparison, table2_rows
+from repro.experiments.api import run_experiment
+from repro.experiments.gnn_classification import table2_rows
 from repro.gnn import two_layer_gcn
 from repro.ppl import distributions as dist
 
@@ -53,12 +54,13 @@ def listing4_demo(seed: int = 0) -> None:
 
 def main(fast: bool = False) -> None:
     listing4_demo()
-    config = GNNConfig.fast() if fast else GNNConfig()
-    print(f"Running the Table-2 comparison over {config.num_runs} seeds...")
-    results = run_gnn_comparison(config)
-    print("\nTable 2 — deterministic vs Bayesian GNN (mean ± 2 s.e.)")
+    print("Running the Table-2 comparison through the registry "
+          "(equivalent to `repro run table2-gnn`)...")
+    result = run_experiment("table2-gnn", fast=fast)
+    print(f"\nTable 2 — deterministic vs Bayesian GNN (mean ± 2 s.e., "
+          f"{result.config['num_runs']} seeds, {result.wall_clock_seconds:.1f}s)")
     print(f"{'inference':<8} {'NLL↓':>16} {'Acc.↑(%)':>18} {'ECE↓(%)':>18}")
-    for row in table2_rows(results):
+    for row in table2_rows(result.raw):
         print(f"{row['method']:<8} {row['nll']:>8.3f} ±{row['nll_2se']:.3f}  "
               f"{100 * row['accuracy']:>9.2f} ±{100 * row['accuracy_2se']:.2f}  "
               f"{100 * row['ece']:>9.2f} ±{100 * row['ece_2se']:.2f}")

@@ -17,13 +17,13 @@ import argparse
 
 import numpy as np
 
-from repro.experiments.nerf import NeRFConfig, run_nerf_experiment
+from repro.experiments.api import run_experiment
 
 
 def main(fast: bool = False) -> None:
-    config = NeRFConfig.fast() if fast else NeRFConfig()
-    print(f"Training deterministic and Bayesian NeRF ({'fast' if fast else 'full'} config)...")
-    result = run_nerf_experiment(config)
+    print(f"Training deterministic and Bayesian NeRF ({'fast' if fast else 'full'} config, "
+          "equivalent to `repro run fig3-nerf`)...")
+    result = run_experiment("fig3-nerf", fast=fast).raw
 
     print("\nFigure 3 — held-out view reconstruction error (lower is better)")
     print(f"  deterministic NeRF : {result.deterministic_heldout_error:.2e}")

@@ -14,6 +14,9 @@ numerically identical to the looped path under the same seed (see
 Run with::
 
     python examples/quickstart.py
+
+(The full Figure-1 experiment this snippet condenses is registered as
+``fig1-regression`` — reproduce it with ``repro run fig1-regression``.)
 """
 
 from functools import partial

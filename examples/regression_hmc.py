@@ -14,17 +14,15 @@ import argparse
 
 import numpy as np
 
-from repro.experiments.regression import (RegressionConfig, run_figure1)
+from repro.experiments.api import run_experiment
 
 
 def main(fast: bool = False) -> None:
-    if fast:
-        config = RegressionConfig(n_per_cluster=20, hidden_units=25, num_epochs=100,
-                                  hmc_num_samples=30, hmc_warmup=30)
-    else:
-        config = RegressionConfig()
-    print("Running all three Figure-1 panels (variational x2 + HMC)...")
-    results = run_figure1(config)
+    overrides = {"n_per_cluster": 20, "hidden_units": 25, "num_epochs": 100,
+                 "hmc_num_samples": 30, "hmc_warmup": 30} if fast else None
+    print("Running all three Figure-1 panels (variational x2 + HMC) through the "
+          "registry (equivalent to `repro run fig1-regression`)...")
+    results = run_experiment("fig1-regression", overrides=overrides).raw
 
     print("\nsummary (predictive std averaged over input regions)")
     print(f"{'method':<28} {'on data':>9} {'in between':>12} {'train sq. err':>15}")

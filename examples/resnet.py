@@ -17,14 +17,15 @@ import numpy as np
 
 from repro import metrics
 from repro.datasets import make_image_classification_data
-from repro.experiments.image_classification import (ImageClassificationConfig, figure2_curves,
-                                                    run_inference_comparison, table1_rows)
+from repro.experiments.api import run_experiment
+from repro.experiments.image_classification import figure2_curves, table1_rows
 
 
 def main(fast: bool = False) -> None:
-    config = ImageClassificationConfig.fast() if fast else ImageClassificationConfig()
-    print(f"Running the inference comparison ({'fast' if fast else 'full'} configuration)...")
-    results = run_inference_comparison(config)
+    print(f"Running the inference comparison ({'fast' if fast else 'full'} configuration, "
+          "equivalent to `repro run table1-resnet`)...")
+    table1 = run_experiment("table1-resnet", fast=fast)
+    results, config = table1.raw, table1.config
 
     print("\nTable 1 — Bayesian ResNet predictive performance")
     print(f"{'inference':<12} {'NLL↓':>8} {'Acc.↑(%)':>10} {'ECE↓(%)':>9} {'OOD↑':>7}")
@@ -32,11 +33,13 @@ def main(fast: bool = False) -> None:
         print(f"{row['method']:<12} {row['nll']:>8.3f} {100 * row['accuracy']:>10.2f} "
               f"{100 * row['ece']:>9.2f} {row['ood_auroc']:>7.3f}")
 
-    # Figure 2 quantities: calibration curve + test/OOD entropy CDFs
+    # Figure 2 quantities on the same runs: calibration curve + entropy CDFs
+    # (the standalone `repro run fig2-calibration` retrains just ml and mf)
     data = make_image_classification_data(
-        num_classes=config.num_classes, image_size=config.image_size, channels=config.channels,
-        train_per_class=config.train_per_class, test_per_class=config.test_per_class,
-        noise_scale=config.noise_scale, seed=config.seed)
+        num_classes=config["num_classes"], image_size=config["image_size"],
+        channels=config["channels"], train_per_class=config["train_per_class"],
+        test_per_class=config["test_per_class"], noise_scale=config["noise_scale"],
+        seed=config["seed"])
     curves = figure2_curves(results, labels=data.test_labels)
 
     print("\nFigure 2(b) — mean predictive entropy (test vs OOD), higher OOD entropy is better")

@@ -14,7 +14,7 @@ Run with::
 
 import argparse
 
-from repro.experiments.continual import ContinualConfig, run_ml_baseline, run_vcl
+from repro.experiments.api import run_experiment
 
 
 def _print_suite(name: str, ml, vcl) -> None:
@@ -26,22 +26,13 @@ def _print_suite(name: str, ml, vcl) -> None:
 
 
 def main(fast: bool = False) -> None:
-    if fast:
-        mnist_config = ContinualConfig.fast("mnist")
-        cifar_config = ContinualConfig.fast("cifar")
-    else:
-        mnist_config = ContinualConfig(suite="mnist", num_tasks=5)
-        cifar_config = ContinualConfig(suite="cifar", num_tasks=6)
-
-    print("Running the Split-MNIST-style suite...")
-    mnist_ml = run_ml_baseline(mnist_config)
-    mnist_vcl = run_vcl(mnist_config)
-    _print_suite("Split-MNIST (synthetic)", mnist_ml, mnist_vcl)
-
-    print("\nRunning the Split-CIFAR-style suite...")
-    cifar_ml = run_ml_baseline(cifar_config)
-    cifar_vcl = run_vcl(cifar_config)
-    _print_suite("Split-CIFAR (synthetic)", cifar_ml, cifar_vcl)
+    print("Running both Split suites through the registry "
+          "(equivalent to `repro run fig4-vcl`)...")
+    result = run_experiment("fig4-vcl", fast=fast)
+    _print_suite("Split-MNIST (synthetic)",
+                 result.raw["mnist"]["ml"], result.raw["mnist"]["vcl"])
+    _print_suite("Split-CIFAR (synthetic)",
+                 result.raw["cifar"]["ml"], result.raw["cifar"]["vcl"])
 
 
 if __name__ == "__main__":

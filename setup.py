@@ -1,6 +1,21 @@
 """Setuptools shim so ``pip install -e .`` works without the ``wheel`` package
-(offline environments fall back to the legacy develop install path)."""
+(offline environments fall back to the legacy develop install path).
 
-from setuptools import setup
+Installs the ``repro`` console script (``repro list`` / ``repro run <id>`` /
+``repro run-all``) — the unified CLI over the experiment registry in
+``repro.experiments.api``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.3.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro = repro.experiments.api.cli:main",
+        ],
+    },
+)

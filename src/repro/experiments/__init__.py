@@ -1,17 +1,23 @@
-"""``repro.experiments`` — one harness per paper table/figure.
+"""``repro.experiments`` — one registered harness per paper table/figure.
 
-========  =======================  =============================================
-Exp. id   Paper artefact           Entry point
-========  =======================  =============================================
-E1        Figure 1 (regression)    :func:`repro.experiments.regression.run_figure1`
-E2        Table 1 (ResNet)         :func:`repro.experiments.image_classification.run_inference_comparison`
-E3        Figure 2 (calibration)   :func:`repro.experiments.image_classification.figure2_curves`
-E4        Table 2 (GNN)            :func:`repro.experiments.gnn_classification.run_gnn_comparison`
-E5        Figure 3 (NeRF)          :func:`repro.experiments.nerf.run_nerf_experiment`
-E6        Figure 4 (VCL)           :func:`repro.experiments.continual.run_figure4`
-========  =======================  =============================================
+The experiment ids, config classes and entry points live in the decorator
+registry of :mod:`repro.experiments.api`: run ``repro list`` on the command
+line or call :func:`repro.experiments.api.all_experiments` for the canonical
+id ↔ paper-artefact table (E1 ``fig1-regression`` … E6 ``fig4-vcl``).  Every
+artefact is reproduced with::
+
+    repro run <id> [--fast] [--seed N] [--set key=value]
+
+or programmatically via :func:`repro.experiments.api.run_experiment`, which
+returns (and optionally writes) the shared
+:class:`~repro.experiments.api.ExperimentResult` JSON artifact.
 """
 
+from . import api
 from . import continual, gnn_classification, image_classification, nerf, regression
+from .api import (BaseExperimentConfig, ExperimentResult, all_experiments, experiment_ids,
+                  get_experiment, run_experiment)
 
-__all__ = ["regression", "image_classification", "gnn_classification", "nerf", "continual"]
+__all__ = ["api", "regression", "image_classification", "gnn_classification", "nerf",
+           "continual", "BaseExperimentConfig", "ExperimentResult", "all_experiments",
+           "experiment_ids", "get_experiment", "run_experiment"]

@@ -1,0 +1,143 @@
+"""The ``repro`` console script: one command line for every paper artefact.
+
+Usage::
+
+    repro list                                  # table of registered experiments
+    repro run fig1-regression --fast --seed 3   # run one artefact
+    repro run fig4-vcl --fast --set epochs_per_task=2 --set suite=mnist
+    repro run-all --fast                        # every artefact E1-E6
+
+``repro run`` builds the experiment's config (``--fast`` selects the reduced
+smoke-test configuration), applies typed ``--set key=value`` overrides,
+executes the runner and writes the JSON artifact
+(``<output-dir>/<experiment-id>.json``, default ``artifacts/``).  Exit code 0
+on success, 2 on bad arguments / unknown experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .base import parse_overrides
+from .registry import all_experiments, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_OUTPUT_DIR = "artifacts"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments (E1-E6) through the unified registry.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    def add_run_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--fast", action="store_true",
+                         help="use the reduced smoke-test configuration")
+        sub.add_argument("--seed", type=int, default=None, help="override the config seed")
+        sub.add_argument("--output-dir", default=None,
+                         help=f"artifact directory (default: {DEFAULT_OUTPUT_DIR!r})")
+        sub.add_argument("--no-artifact", action="store_true",
+                         help="do not write the JSON artifact")
+
+    run = subparsers.add_parser("run", help="run one experiment by id")
+    run.add_argument("experiment_id", metavar="id",
+                     help="experiment id (see `repro list`)")
+    add_run_options(run)
+    run.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="key=value",
+                     help="typed config override (repeatable), e.g. --set seed=3 "
+                          "--set vectorized_eval=false")
+
+    run_all = subparsers.add_parser("run-all", help="run every registered experiment")
+    add_run_options(run_all)
+
+    return parser
+
+
+def _collect_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = parse_overrides(getattr(args, "overrides", []))
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.no_artifact:
+        overrides["output_dir"] = None
+    elif args.output_dir is not None:
+        overrides["output_dir"] = args.output_dir
+    else:
+        overrides.setdefault("output_dir", DEFAULT_OUTPUT_DIR)
+    return overrides
+
+
+def _print_result(spec, result, stream) -> None:
+    print(f"[{spec.number}] {spec.experiment_id} ({spec.artefact}) "
+          f"finished in {result.wall_clock_seconds:.1f}s", file=stream)
+    for key in sorted(result.metrics):
+        value = result.metrics[key]
+        if isinstance(value, float):
+            print(f"  {key:<40s} {value:.6g}", file=stream)
+        else:
+            print(f"  {key:<40s} {value}", file=stream)
+    if result.config.get("output_dir"):
+        print(f"  artifact: {result.config['output_dir']}/{spec.experiment_id}.json",
+              file=stream)
+
+
+def _cmd_list(stream) -> int:
+    rows = [(spec.number, spec.experiment_id, spec.artefact, spec.title)
+            for spec in all_experiments()]
+    id_width = max(len(row[1]) for row in rows)
+    artefact_width = max(len(row[2]) for row in rows)
+    print(f"{'#':<4} {'id':<{id_width}} {'artefact':<{artefact_width}} title", file=stream)
+    for number, experiment_id, artefact, title in rows:
+        print(f"{number:<4} {experiment_id:<{id_width}} {artefact:<{artefact_width}} "
+              f"{title}", file=stream)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, stream) -> int:
+    try:
+        spec = get_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        overrides = _collect_overrides(args)
+        result = spec.run(fast=args.fast, overrides=overrides)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    _print_result(spec, result, stream)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace, stream) -> int:
+    overrides = _collect_overrides(args)
+    for spec in all_experiments():
+        try:
+            result = spec.run(fast=args.fast, overrides=overrides)
+        except ValueError as exc:
+            print(f"repro: {spec.experiment_id}: {exc}", file=sys.stderr)
+            return 2
+        _print_result(spec, result, stream)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    stream = sys.stdout
+    if args.command == "list":
+        return _cmd_list(stream)
+    if args.command == "run":
+        return _cmd_run(args, stream)
+    if args.command == "run-all":
+        return _cmd_run_all(args, stream)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

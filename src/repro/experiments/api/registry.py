@@ -1,0 +1,138 @@
+"""Decorator-based experiment registry covering the paper artefacts E1-E6.
+
+Experiment modules register their runner with::
+
+    @register("fig1-regression", config_cls=RegressionConfig, number="E1",
+              artefact="Figure 1", title="Bayesian nonlinear regression")
+    def _figure1_experiment(config):
+        ...
+        return metrics, raw
+
+The runner receives a fully-resolved config instance and returns a
+``(metrics, raw)`` pair: ``metrics`` is the flat JSON-serializable mapping
+that goes into the artifact, ``raw`` the module's rich in-memory result
+objects (kept on :attr:`ExperimentResult.raw`, never serialized).  The
+registry wraps the call with wall-clock timing, builds the
+:class:`~repro.experiments.api.base.ExperimentResult` and writes the JSON
+artifact when the config carries an ``output_dir``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
+
+from .base import BaseExperimentConfig, ExperimentResult
+
+__all__ = ["ExperimentSpec", "register", "get_experiment", "experiment_ids",
+           "all_experiments", "run_experiment"]
+
+_REGISTRY: Dict[str, "ExperimentSpec"] = {}
+
+# the modules whose import populates the registry (one decorator per artefact)
+_EXPERIMENT_MODULES = ("regression", "image_classification", "gnn_classification",
+                       "nerf", "continual")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: id, config class, runner and paper metadata."""
+
+    experiment_id: str
+    config_cls: Type[BaseExperimentConfig]
+    runner: Callable[[BaseExperimentConfig], Tuple[Mapping[str, Any], Any]]
+    number: str
+    artefact: str
+    title: str
+    #: overrides applied to every config this spec builds (e.g. ``fig4-vcl``
+    #: defaults to ``suite="both"`` so the registry run covers the full figure)
+    base_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ configs
+    def make_config(self, fast: bool = False,
+                    overrides: Optional[Mapping[str, Any]] = None) -> BaseExperimentConfig:
+        """Build the default (or ``fast()``) config with overrides applied."""
+        config = self.config_cls.fast() if fast else self.config_cls()
+        merged = {**self.base_overrides, **(overrides or {})}
+        return config.with_overrides(merged) if merged else config
+
+    # --------------------------------------------------------------------- run
+    def run(self, config: Optional[BaseExperimentConfig] = None, *, fast: bool = False,
+            overrides: Optional[Mapping[str, Any]] = None) -> ExperimentResult:
+        """Run the experiment and return the schema-conformant result.
+
+        Writes the JSON artifact to ``<config.output_dir>/<experiment_id>.json``
+        when ``output_dir`` is set.
+        """
+        if config is None:
+            config = self.make_config(fast=fast, overrides=overrides)
+        elif fast or overrides:
+            raise ValueError("pass either an explicit config or fast/overrides, not both")
+        start = time.perf_counter()
+        metrics, raw = self.runner(config)
+        wall_clock = time.perf_counter() - start
+        result = ExperimentResult(experiment_id=self.experiment_id,
+                                  config=config.to_dict(), metrics=dict(metrics),
+                                  wall_clock_seconds=wall_clock, raw=raw)
+        if config.output_dir:
+            result.write(Path(config.output_dir) / f"{self.experiment_id}.json")
+        return result
+
+
+def register(experiment_id: str, *, config_cls: Type[BaseExperimentConfig], number: str,
+             artefact: str, title: str,
+             base_overrides: Optional[Mapping[str, Any]] = None) -> Callable:
+    """Class/function decorator adding a runner to the registry under ``experiment_id``."""
+
+    def decorator(runner: Callable) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"experiment id {experiment_id!r} is already registered")
+        if not (isinstance(config_cls, type) and issubclass(config_cls, BaseExperimentConfig)):
+            raise TypeError(f"config_cls for {experiment_id!r} must subclass "
+                            "BaseExperimentConfig")
+        spec = ExperimentSpec(experiment_id=experiment_id, config_cls=config_cls,
+                              runner=runner, number=number, artefact=artefact, title=title,
+                              base_overrides=dict(base_overrides or {}))
+        _REGISTRY[experiment_id] = spec
+        runner.spec = spec
+        return runner
+
+    return decorator
+
+
+def _ensure_registered() -> None:
+    """Import every experiment module so its ``@register`` decorators have run."""
+    for name in _EXPERIMENT_MODULES:
+        importlib.import_module(f"repro.experiments.{name}")
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment by id (raises ``KeyError`` with the ids)."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment id {experiment_id!r}; "
+                       f"registered: {experiment_ids()}") from None
+
+
+def experiment_ids() -> List[str]:
+    """All registered ids, ordered by paper artefact number (E1 ... E6)."""
+    _ensure_registered()
+    return [spec.experiment_id for spec in all_experiments()]
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """All registered specs, ordered by paper artefact number (E1 ... E6)."""
+    _ensure_registered()
+    return sorted(_REGISTRY.values(), key=lambda spec: (spec.number, spec.experiment_id))
+
+
+def run_experiment(experiment_id: str, config: Optional[BaseExperimentConfig] = None, *,
+                   fast: bool = False,
+                   overrides: Optional[Mapping[str, Any]] = None) -> ExperimentResult:
+    """Run a registered experiment end to end (the programmatic CLI equivalent)."""
+    return get_experiment(experiment_id).run(config, fast=fast, overrides=overrides)

@@ -9,10 +9,17 @@ prior to the previous posterior after each task (Listing 6) and retains them.
 The networks follow Appendix A.4 at reduced scale: a single-hidden-layer MLP
 with one output head per task for the MNIST-style suite, and a small
 conv-conv-pool network for the CIFAR-style suite.
+
+Registered as ``fig4-vcl``; run it with ``repro run fig4-vcl [--fast]``
+(both suites — the full figure) or ``--set suite=mnist`` for one suite.
+Per-task accuracies are evaluated through the batched engine by default
+(``vectorized_eval=True``, RNG-identical); ``--set vectorized_eval=false``
+selects the per-task prediction loops.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence
@@ -25,16 +32,17 @@ from ..core.vcl import VCLState, update_prior_to_posterior
 from ..datasets.continual import ContinualTask, make_split_cifar_like, make_split_mnist_like
 from ..nn import functional as F
 from ..ppl import distributions as dist
+from .api import BaseExperimentConfig, register, warn_deprecated_entry_point
 
 __all__ = ["ContinualConfig", "ContinualResult", "MultiHeadNet", "run_vcl", "run_ml_baseline",
            "run_figure4"]
 
 
 @dataclass
-class ContinualConfig:
+class ContinualConfig(BaseExperimentConfig):
     """Sizes and hyper-parameters of the continual-learning experiment."""
 
-    suite: str = "mnist"  # "mnist" or "cifar"
+    suite: str = "mnist"  # "mnist" or "cifar" ("both" is valid for fig4-vcl only)
     num_tasks: int = 5
     image_size: int = 8
     train_per_class: int = 30
@@ -46,16 +54,15 @@ class ContinualConfig:
     num_predictions: int = 8
     batch_size: int = 60
     single_head: bool = True
-    seed: int = 0
-    # evaluate per-task accuracies through one batched forward over the
-    # stacked task test sets (RNG-identical; the looped path is the default)
-    vectorized_eval: bool = False
+    # per-task accuracies go through one batched forward over the stacked task
+    # test sets when the inherited ``vectorized_eval`` is True (the default;
+    # RNG-identical — the looped path stays reachable via vectorized_eval=False)
 
     @classmethod
     def fast(cls, suite: str = "mnist") -> "ContinualConfig":
         num_tasks = 3 if suite == "mnist" else 2
         return cls(suite=suite, num_tasks=num_tasks, train_per_class=12, test_per_class=8,
-                   hidden=24, epochs_per_task=10, num_predictions=4)
+                   hidden=24, epochs_per_task=10, num_predictions=4, fast=True)
 
 
 @dataclass
@@ -88,15 +95,43 @@ class MultiHeadNet(nn.Module):
         self.heads = nn.ModuleList([nn.Linear(body_out, classes_per_task, rng=rng)
                                     for _ in range(num_tasks)])
         self.active_task = 0
+        object.__setattr__(self, "task_schedule", None)
 
     def set_active_task(self, task_id: int) -> None:
         # with a single shared head (domain-incremental protocol) every task
         # maps to head 0; otherwise each task has its own head
         object.__setattr__(self, "active_task", task_id if task_id < len(self.heads) else 0)
 
+    def set_task_schedule(self, head_ids: Optional[Sequence[int]]) -> None:
+        """Route each leading-sample slice of a batched forward to its own head.
+
+        ``head_ids[s]`` names the head the ``s``-th slice of a stacked
+        ``(S, N, ...)`` forward pass goes through — the head-indexed batched
+        forward that lets multi-head (``single_head=False``) evaluation share
+        one body pass across tasks.  Evaluation-only: the selected logits are
+        detached, so use it under ``nn.no_grad()``.  ``None`` restores normal
+        single-active-head routing.
+        """
+        schedule = None if head_ids is None else np.asarray(head_ids, dtype=int)
+        if schedule is not None and schedule.ndim != 1:
+            raise ValueError("task schedule must be a 1-D sequence of head indices")
+        object.__setattr__(self, "task_schedule", schedule)
+
     def forward(self, x: nn.Tensor) -> nn.Tensor:
         features = self.body(x)
-        return self.heads[self.active_task](features)
+        schedule = self.task_schedule
+        if schedule is None:
+            return self.heads[self.active_task](features)
+        if features.shape[0] != len(schedule):
+            raise ValueError(
+                f"task schedule covers {len(schedule)} leading-sample slices but the "
+                f"batched forward carries {features.shape[0]}")
+        # one body pass feeds every head; each head is a single (cheap) linear
+        # layer, so computing all H head outputs and gathering slice s from
+        # head schedule[s] stays far cheaper than per-task body forwards
+        head_outputs = [self.heads[h](features).data for h in range(len(self.heads))]
+        selected = np.stack([head_outputs[schedule[s]][s] for s in range(len(schedule))])
+        return nn.Tensor(selected)
 
 
 def _make_tasks(config: ContinualConfig) -> List[ContinualTask]:
@@ -148,17 +183,27 @@ def _evaluate_task_accuracies(bnn: tyxe.VariationalBNN, net: MultiHeadNet,
     ``tasks x num_predictions`` leading sample axis via
     :meth:`~repro.core.bnn._SupervisedBNN.predict_grouped` — weight draws are
     consumed task-major, so the accuracies are RNG-identical to the loop.
-    Tasks with mismatched test-set shapes or per-task heads cannot share one
-    batched forward; they fall back to per-task ``predict(vectorized=True)``,
-    which is likewise RNG-identical.
+    Multi-head networks (``single_head=False``) share the same batched body
+    forward through :meth:`MultiHeadNet.set_task_schedule`, which routes each
+    task's sample slices through its own head.  Only tasks with mismatched
+    test-set shapes cannot share one batched forward; they fall back to
+    per-task ``predict(vectorized=True)``, which is likewise RNG-identical.
     """
     if not vectorized:
         return [_task_accuracy_bnn(bnn, net, t, num_predictions) for t in tasks]
     shapes = {t.test_inputs.shape for t in tasks}
-    if len(shapes) == 1 and len(net.heads) == 1:
-        net.set_active_task(tasks[0].task_id)
+    if len(shapes) == 1:
         stacked = np.stack([t.test_inputs for t in tasks])  # (T, n, ...)
-        agg = bnn.predict_grouped(stacked, num_predictions=num_predictions)
+        if len(net.heads) == 1:
+            net.set_active_task(tasks[0].task_id)
+            agg = bnn.predict_grouped(stacked, num_predictions=num_predictions)
+        else:
+            head_ids = [t.task_id if t.task_id < len(net.heads) else 0 for t in tasks]
+            net.set_task_schedule(np.repeat(head_ids, num_predictions))
+            try:
+                agg = bnn.predict_grouped(stacked, num_predictions=num_predictions)
+            finally:
+                net.set_task_schedule(None)
         return [metrics.accuracy(metrics.as_probs(agg[i], from_logits=True), t.test_labels)
                 for i, t in enumerate(tasks)]
     accuracies = []
@@ -178,12 +223,9 @@ def _task_accuracy_ml(net: MultiHeadNet, task: ContinualTask) -> float:
     return metrics.accuracy(metrics.as_probs(logits, from_logits=True), task.test_labels)
 
 
-def run_vcl(config: Optional[ContinualConfig] = None) -> ContinualResult:
+def _vcl(config: ContinualConfig) -> ContinualResult:
     """Variational continual learning: prior <- posterior between tasks."""
-    config = config or ContinualConfig()
-    ppl.set_rng_seed(config.seed)
-    ppl.clear_param_store()
-    rng = np.random.default_rng(config.seed)
+    rng = config.seed_all()
     tasks = _make_tasks(config)
     net = _make_net(config, rng)
 
@@ -219,10 +261,9 @@ def run_vcl(config: Optional[ContinualConfig] = None) -> ContinualResult:
                            forgetting=state.forgetting())
 
 
-def run_ml_baseline(config: Optional[ContinualConfig] = None) -> ContinualResult:
+def _ml_baseline(config: ContinualConfig) -> ContinualResult:
     """Sequential maximum-likelihood fine-tuning (the forgetting baseline)."""
-    config = config or ContinualConfig()
-    rng = np.random.default_rng(config.seed)
+    rng = config.seed_all()
     tasks = _make_tasks(config)
     net = _make_net(config, rng)
     state = VCLState(len(tasks))
@@ -247,13 +288,68 @@ def run_ml_baseline(config: Optional[ContinualConfig] = None) -> ContinualResult
                            forgetting=state.forgetting())
 
 
-def run_figure4(mnist_config: Optional[ContinualConfig] = None,
-                cifar_config: Optional[ContinualConfig] = None
-                ) -> Dict[str, Dict[str, ContinualResult]]:
+def _figure4(mnist_config: Optional[ContinualConfig] = None,
+             cifar_config: Optional[ContinualConfig] = None
+             ) -> Dict[str, Dict[str, ContinualResult]]:
     """Both suites, both methods — the four curves of Figure 4."""
     mnist_config = mnist_config or ContinualConfig(suite="mnist", num_tasks=5)
     cifar_config = cifar_config or ContinualConfig(suite="cifar", num_tasks=6)
     return {
-        "mnist": {"ml": run_ml_baseline(mnist_config), "vcl": run_vcl(mnist_config)},
-        "cifar": {"ml": run_ml_baseline(cifar_config), "vcl": run_vcl(cifar_config)},
+        "mnist": {"ml": _ml_baseline(mnist_config), "vcl": _vcl(mnist_config)},
+        "cifar": {"ml": _ml_baseline(cifar_config), "vcl": _vcl(cifar_config)},
     }
+
+
+@register("fig4-vcl", config_cls=ContinualConfig, number="E6", artefact="Figure 4",
+          title="Variational continual learning vs. sequential maximum likelihood",
+          base_overrides={"suite": "both"})
+def _figure4_experiment(config: ContinualConfig):
+    """Both methods on the configured suite(s).
+
+    The registry default is ``suite="both"`` — the full four-curve figure,
+    with the CIFAR-style suite running one more task than the MNIST-style
+    suite (the paper's 5/6 split; one task fewer at ``fast`` scale) — while
+    ``--set suite=mnist`` (or ``cifar``) reproduces a single suite's pair of
+    curves.
+    """
+    suites = ("mnist", "cifar") if config.suite == "both" else (config.suite,)
+    results: Dict[str, Dict[str, ContinualResult]] = {}
+    for suite in suites:
+        suite_config = dataclasses.replace(config, suite=suite)
+        if config.suite == "both" and suite == "cifar":
+            # full scale mirrors the paper's 5/6 split; fast mirrors
+            # ContinualConfig.fast("cifar"), which runs one task fewer than
+            # the MNIST-style smoke suite
+            cifar_tasks = max(config.num_tasks - 1, 2) if config.fast else config.num_tasks + 1
+            suite_config = dataclasses.replace(suite_config, num_tasks=cifar_tasks)
+        results[suite] = {"ml": _ml_baseline(suite_config), "vcl": _vcl(suite_config)}
+    metrics_out: Dict[str, object] = {}
+    for suite, pair in results.items():
+        for method, result in pair.items():
+            prefix = f"{suite}_{method}"
+            metrics_out[f"{prefix}_final_mean_accuracy"] = result.mean_accuracies[-1]
+            metrics_out[f"{prefix}_forgetting"] = result.forgetting
+            metrics_out[f"{prefix}_mean_accuracies"] = [float(a)
+                                                        for a in result.mean_accuracies]
+    return metrics_out, results
+
+
+# ------------------------------------------------------------ legacy entry points
+def run_vcl(config: Optional[ContinualConfig] = None) -> ContinualResult:
+    """Deprecated shim over the ``fig4-vcl`` registry path (VCL curve)."""
+    warn_deprecated_entry_point("run_vcl", "fig4-vcl")
+    return _vcl(config or ContinualConfig())
+
+
+def run_ml_baseline(config: Optional[ContinualConfig] = None) -> ContinualResult:
+    """Deprecated shim over the ``fig4-vcl`` registry path (ML baseline curve)."""
+    warn_deprecated_entry_point("run_ml_baseline", "fig4-vcl")
+    return _ml_baseline(config or ContinualConfig())
+
+
+def run_figure4(mnist_config: Optional[ContinualConfig] = None,
+                cifar_config: Optional[ContinualConfig] = None
+                ) -> Dict[str, Dict[str, ContinualResult]]:
+    """Deprecated shim over the ``fig4-vcl`` registry path (all four curves)."""
+    warn_deprecated_entry_point("run_figure4", "fig4-vcl")
+    return _figure4(mnist_config, cifar_config)

@@ -7,6 +7,10 @@ graph is passed through the network, and the ``selective_mask`` effect
 handler restricts the log-likelihood to labelled (training) nodes.  Each
 method reports the test NLL, accuracy and ECE at the epoch with the lowest
 validation NLL, averaged over several seeds (mean ± two standard errors).
+
+Registered as ``table2-gnn``; run it with
+``repro run table2-gnn [--fast] [--set methods=ml,mf]`` or
+:func:`repro.experiments.api.run_experiment`.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ from ..datasets.graphs import CitationGraphData, make_citation_graph
 from ..gnn import two_layer_gcn
 from ..nn import functional as F
 from ..ppl import distributions as dist
+from .api import (BaseExperimentConfig, parse_name_list, register,
+                  warn_deprecated_entry_point)
 
 __all__ = ["GNNConfig", "GNNMethodResult", "run_gnn_comparison", "table2_rows"]
 
@@ -30,7 +36,7 @@ GNN_METHODS = ("ml", "map", "mf")
 
 
 @dataclass
-class GNNConfig:
+class GNNConfig(BaseExperimentConfig):
     """Sizes and hyper-parameters for the GNN comparison."""
 
     num_nodes: int = 250
@@ -49,12 +55,16 @@ class GNNConfig:
     num_predictions: int = 8
     num_runs: int = 5
     eval_every: int = 10
-    seed: int = 0
+    # comma-separated subset of GNN_METHODS; empty = all of them
+    methods: str = ""
 
     @classmethod
     def fast(cls) -> "GNNConfig":
         return cls(num_nodes=80, ml_iterations=30, mf_iterations=40, num_runs=2,
-                   num_predictions=4, eval_every=10)
+                   num_predictions=4, eval_every=10, fast=True)
+
+    def selected_methods(self) -> Tuple[str, ...]:
+        return parse_name_list(self.methods, GNN_METHODS, GNN_METHODS, "methods")
 
 
 @dataclass
@@ -166,15 +176,15 @@ def _aggregate(method: str, runs: List[Dict[str, float]]) -> GNNMethodResult:
     return GNNMethodResult(method, nll_mean, nll_se, acc_mean, acc_se, ece_mean, ece_se, runs)
 
 
-def run_gnn_comparison(config: Optional[GNNConfig] = None,
-                       methods: Optional[Sequence[str]] = None) -> Dict[str, GNNMethodResult]:
+def _gnn_comparison(config: GNNConfig,
+                    methods: Optional[Sequence[str]] = None) -> Dict[str, GNNMethodResult]:
     """Run ML / MAP / mean-field VI over several seeds and aggregate (Table 2)."""
-    config = config or GNNConfig()
-    methods = tuple(methods) if methods is not None else GNN_METHODS
+    methods = tuple(methods) if methods is not None else config.selected_methods()
     unknown = set(methods) - set(GNN_METHODS)
     if unknown:
         raise ValueError(f"unknown methods: {sorted(unknown)}")
 
+    config.seed_all()
     results: Dict[str, List[Dict[str, float]]] = {m: [] for m in methods}
     for run in range(config.num_runs):
         seed = config.seed + run
@@ -190,6 +200,24 @@ def run_gnn_comparison(config: Optional[GNNConfig] = None,
         if "mf" in methods:
             results["mf"].append(_run_mf(data, config, seed))
     return {m: _aggregate(m, runs) for m, runs in results.items()}
+
+
+@register("table2-gnn", config_cls=GNNConfig, number="E4", artefact="Table 2",
+          title="Bayesian GNN node classification: ML vs. MAP vs. mean-field VI")
+def _table2_experiment(config: GNNConfig):
+    results = _gnn_comparison(config)
+    metrics = {f"{row['method']}_{key}": value
+               for row in table2_rows(results)
+               for key, value in row.items() if key != "method"}
+    return metrics, results
+
+
+# ------------------------------------------------------------ legacy entry points
+def run_gnn_comparison(config: Optional[GNNConfig] = None,
+                       methods: Optional[Sequence[str]] = None) -> Dict[str, GNNMethodResult]:
+    """Deprecated shim over the ``table2-gnn`` registry path."""
+    warn_deprecated_entry_point("run_gnn_comparison", "table2-gnn")
+    return _gnn_comparison(config or GNNConfig(), methods)
 
 
 def table2_rows(results: Dict[str, GNNMethodResult]) -> List[Dict[str, float]]:

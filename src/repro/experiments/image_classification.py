@@ -16,14 +16,17 @@ ML solution and are trained with local reparameterization — mirroring the
 paper's Listing 3 and Appendix A.1.  Reported metrics are NLL, accuracy, ECE
 and OOD AUROC (Table 1) plus calibration curves and test/OOD entropy CDFs
 (Figure 2).
+
+Registered as ``table1-resnet`` (E2) and ``fig2-calibration`` (E3); run with
+``repro run table1-resnet [--fast] [--set methods=ml,mf]`` or
+:func:`repro.experiments.api.run_experiment`.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +35,8 @@ from .. import metrics, nn, ppl
 from ..datasets.images import make_image_classification_data, make_ood_images
 from ..nn import functional as F
 from ..ppl import distributions as dist
+from .api import (BaseExperimentConfig, parse_name_list, register,
+                  warn_deprecated_entry_point)
 
 __all__ = ["ImageClassificationConfig", "MethodResult", "run_inference_comparison",
            "table1_rows", "figure2_curves", "ALL_METHODS"]
@@ -40,7 +45,7 @@ ALL_METHODS = ("ml", "map", "mf_sd_only", "mf", "ll_mf", "ll_lowrank")
 
 
 @dataclass
-class ImageClassificationConfig:
+class ImageClassificationConfig(BaseExperimentConfig):
     """Sizes and hyper-parameters of the ResNet comparison."""
 
     num_classes: int = 10
@@ -61,14 +66,18 @@ class ImageClassificationConfig:
     max_guide_scale: float = 0.1
     low_rank: int = 5
     num_predictions: int = 16
-    seed: int = 0
+    # comma-separated subset of ALL_METHODS; empty = all of them
+    methods: str = ""
 
     @classmethod
     def fast(cls) -> "ImageClassificationConfig":
         """A tiny configuration for smoke tests."""
         return cls(num_classes=4, image_size=6, train_per_class=10, test_per_class=6,
                    num_ood=24, base_width=4, ml_epochs=3, vi_epochs=2, num_predictions=4,
-                   batch_size=32, low_rank=2)
+                   batch_size=32, low_rank=2, fast=True)
+
+    def selected_methods(self) -> Tuple[str, ...]:
+        return parse_name_list(self.methods, ALL_METHODS, ALL_METHODS, "methods")
 
 
 @dataclass
@@ -86,6 +95,14 @@ class MethodResult:
     def row(self) -> Dict[str, float]:
         return {"method": self.method, "nll": self.nll, "accuracy": self.accuracy,
                 "ece": self.ece, "ood_auroc": self.ood_auroc}
+
+
+def _make_data(config: ImageClassificationConfig):
+    """The train/test image dataset for ``config`` (deterministic in the seed)."""
+    return make_image_classification_data(
+        num_classes=config.num_classes, image_size=config.image_size, channels=config.channels,
+        train_per_class=config.train_per_class, test_per_class=config.test_per_class,
+        noise_scale=config.noise_scale, seed=config.seed)
 
 
 def _make_net(config: ImageClassificationConfig, seed_offset: int = 0):
@@ -162,22 +179,23 @@ def _fit_variational(net, data, config: ImageClassificationConfig, guide_factory
     return bnn
 
 
-def run_inference_comparison(config: Optional[ImageClassificationConfig] = None,
-                             methods: Optional[Sequence[str]] = None
-                             ) -> Dict[str, MethodResult]:
-    """Run the requested inference strategies and return one result per method."""
-    config = config or ImageClassificationConfig()
-    methods = tuple(methods) if methods is not None else ALL_METHODS
+def _inference_comparison(config: ImageClassificationConfig,
+                          methods: Optional[Sequence[str]] = None,
+                          data=None) -> Dict[str, MethodResult]:
+    """Run the requested inference strategies and return one result per method.
+
+    ``data`` optionally supplies a pre-built dataset (as returned by
+    ``_make_data(config)``) so callers that also need the labels do not
+    generate it twice.
+    """
+    methods = tuple(methods) if methods is not None else config.selected_methods()
     unknown = set(methods) - set(ALL_METHODS)
     if unknown:
         raise ValueError(f"unknown methods: {sorted(unknown)}")
 
-    ppl.set_rng_seed(config.seed)
-    ppl.clear_param_store()
-    data = make_image_classification_data(
-        num_classes=config.num_classes, image_size=config.image_size, channels=config.channels,
-        train_per_class=config.train_per_class, test_per_class=config.test_per_class,
-        noise_scale=config.noise_scale, seed=config.seed)
+    config.seed_all()
+    if data is None:
+        data = _make_data(config)
     ood_images = make_ood_images(config.num_ood, image_size=config.image_size,
                                  channels=config.channels, noise_scale=config.noise_scale,
                                  seed=config.seed + 1000, num_classes=config.num_classes)
@@ -266,6 +284,50 @@ def run_inference_comparison(config: Optional[ImageClassificationConfig] = None,
                                                     "ll_lowrank")
 
     return results
+
+
+@register("table1-resnet", config_cls=ImageClassificationConfig, number="E2",
+          artefact="Table 1",
+          title="Bayesian ResNet inference comparison: NLL / accuracy / ECE / OOD AUROC")
+def _table1_experiment(config: ImageClassificationConfig):
+    results = _inference_comparison(config)
+    metrics = {f"{row['method']}_{key}": value
+               for row in table1_rows(results)
+               for key, value in row.items() if key != "method"}
+    return metrics, results
+
+
+@register("fig2-calibration", config_cls=ImageClassificationConfig, number="E3",
+          artefact="Figure 2",
+          title="Calibration curves and test/OOD predictive-entropy CDFs",
+          base_overrides={"methods": "ml,mf"})
+def _figure2_experiment(config: ImageClassificationConfig):
+    data = _make_data(config)
+    results = _inference_comparison(config, data=data)
+    curves = figure2_curves(results, labels=data.test_labels)
+    summary: Dict[str, float] = {}
+    for method, result in results.items():
+        entry = curves[method]
+        valid = entry["bin_count"] > 0
+        gap = float(np.nanmean(np.abs(entry["bin_confidence"][valid]
+                                      - entry["bin_accuracy"][valid])))
+        summary[f"{method}_ece"] = result.ece
+        summary[f"{method}_calibration_gap"] = gap
+        summary[f"{method}_mean_test_entropy"] = float(
+            metrics.predictive_entropy(result.test_probs).mean())
+        summary[f"{method}_mean_ood_entropy"] = float(
+            metrics.predictive_entropy(result.ood_probs).mean())
+    raw = {"results": results, "curves": curves, "test_labels": data.test_labels}
+    return summary, raw
+
+
+# ------------------------------------------------------------ legacy entry points
+def run_inference_comparison(config: Optional[ImageClassificationConfig] = None,
+                             methods: Optional[Sequence[str]] = None
+                             ) -> Dict[str, MethodResult]:
+    """Deprecated shim over the ``table1-resnet`` registry path."""
+    warn_deprecated_entry_point("run_inference_comparison", "table1-resnet")
+    return _inference_comparison(config or ImageClassificationConfig(), methods)
 
 
 def table1_rows(results: Dict[str, MethodResult]) -> List[Dict[str, float]]:

@@ -10,6 +10,12 @@ model is "pseudo-Bayesian" exactly as the paper discusses.  Reported
 quantities: held-out-view error of both models and the mean predictive
 uncertainty (pixel-wise standard deviation across posterior samples) on
 training vs. held-out views.
+
+Registered as ``fig3-nerf``; run it with ``repro run fig3-nerf [--fast]``
+or :func:`repro.experiments.api.run_experiment`.  Posterior views are
+rendered through the batched engine by default
+(``vectorized_eval=True``, RNG-identical to the looped reference); pass
+``--set vectorized_eval=false`` for the per-angle/per-sample loops.
 """
 
 from __future__ import annotations
@@ -21,17 +27,18 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .. import core as tyxe
-from .. import nn, ppl
+from .. import nn
 from ..metrics.regression import image_error
 from ..nn import functional as F
 from ..ppl import distributions as dist
 from ..render import VolumetricRenderer, make_nerf_field, make_scene_dataset, train_test_angles
+from .api import BaseExperimentConfig, register, warn_deprecated_entry_point
 
 __all__ = ["NeRFConfig", "NeRFResult", "run_nerf_experiment"]
 
 
 @dataclass
-class NeRFConfig:
+class NeRFConfig(BaseExperimentConfig):
     """Sizes and hyper-parameters of the NeRF experiment."""
 
     image_size: int = 12
@@ -48,10 +55,9 @@ class NeRFConfig:
     kl_anneal_iterations: int = 200
     num_posterior_samples: int = 8
     silhouette_weight: float = 0.5
-    seed: int = 0
-    # evaluate posterior views through the batched rendering engine instead of
-    # the per-angle/per-sample Python loops (RNG-identical; looped is default)
-    vectorized_eval: bool = False
+    # posterior views go through the batched rendering engine when the
+    # inherited ``vectorized_eval`` is True (the default; RNG-identical to
+    # the looped reference, which stays reachable via vectorized_eval=False)
     # angles per batched forward in vectorized eval (None = all at once)
     render_chunk_size: Optional[int] = None
 
@@ -59,7 +65,7 @@ class NeRFConfig:
     def fast(cls) -> "NeRFConfig":
         return cls(image_size=8, num_samples_per_ray=8, num_train_views=6, num_test_views=3,
                    hidden=24, depth=2, det_iterations=40, bayes_iterations=40,
-                   kl_anneal_iterations=20, num_posterior_samples=3)
+                   kl_anneal_iterations=20, num_posterior_samples=3, fast=True)
 
 
 @dataclass
@@ -172,12 +178,9 @@ def _render_posterior_views(renderer: VolumetricRenderer, bnn: tyxe.PytorchBNN, 
     return {"mean": means, "std": stds}
 
 
-def run_nerf_experiment(config: Optional[NeRFConfig] = None) -> NeRFResult:
+def _nerf_experiment_impl(config: NeRFConfig) -> NeRFResult:
     """Train both NeRF variants and evaluate held-out-view error and uncertainty."""
-    config = config or NeRFConfig()
-    ppl.set_rng_seed(config.seed)
-    ppl.clear_param_store()
-    rng = np.random.default_rng(config.seed)
+    rng = config.seed_all()
 
     renderer = VolumetricRenderer(image_size=config.image_size,
                                   num_samples_per_ray=config.num_samples_per_ray)
@@ -222,3 +225,17 @@ def run_nerf_experiment(config: Optional[NeRFConfig] = None) -> NeRFResult:
         extra={"uncertainty_maps_heldout": bayes_test["std"],
                "train_angles": train_angles, "test_angles": test_angles},
     )
+
+
+@register("fig3-nerf", config_cls=NeRFConfig, number="E5", artefact="Figure 3",
+          title="Deterministic vs. Bayesian NeRF: held-out-view error and uncertainty")
+def _figure3_experiment(config: NeRFConfig):
+    result = _nerf_experiment_impl(config)
+    return result.summary(), result
+
+
+# ------------------------------------------------------------ legacy entry points
+def run_nerf_experiment(config: Optional[NeRFConfig] = None) -> NeRFResult:
+    """Deprecated shim over the ``fig3-nerf`` registry path."""
+    warn_deprecated_entry_point("run_nerf_experiment", "fig3-nerf")
+    return _nerf_experiment_impl(config or NeRFConfig())

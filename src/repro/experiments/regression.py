@@ -13,13 +13,17 @@ two-cluster dataset with a 1-50-1 tanh network, a standard-normal prior and a
 The quantity of interest is the shape of the predictive uncertainty: small on
 the two data clusters, larger in between and outside, with HMC giving the
 widest in-between error bars.
+
+Registered as ``fig1-regression``; run it with
+``repro run fig1-regression [--fast] [--set panels=hmc]`` or
+:func:`repro.experiments.api.run_experiment`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,13 +31,18 @@ from .. import nn, ppl
 from .. import core as tyxe
 from ..datasets.regression import foong_regression, regression_grid, true_function
 from ..ppl import distributions as dist
+from .api import (BaseExperimentConfig, parse_name_list, register,
+                  warn_deprecated_entry_point)
 
 __all__ = ["RegressionConfig", "RegressionResult", "run_variational_regression",
            "run_hmc_regression", "run_figure1"]
 
+#: panel-selector names accepted by ``RegressionConfig.panels``
+PANELS = ("local_reparameterization", "shared_weight_samples", "hmc")
+
 
 @dataclass
-class RegressionConfig:
+class RegressionConfig(BaseExperimentConfig):
     """Sizes and hyper-parameters for the Figure-1 experiment."""
 
     n_per_cluster: int = 40
@@ -49,6 +58,17 @@ class RegressionConfig:
     hmc_step_size: float = 5e-4
     hmc_num_steps: int = 15
     seed: int = 42
+    # comma-separated subset of PANELS, or "all" (the full figure)
+    panels: str = "all"
+
+    @classmethod
+    def fast(cls) -> "RegressionConfig":
+        """A tiny configuration for smoke tests."""
+        return cls(n_per_cluster=15, hidden_units=20, num_epochs=30, num_predictions=8,
+                   hmc_num_samples=10, hmc_warmup=10, hmc_num_steps=5, fast=True)
+
+    def selected_panels(self) -> Tuple[str, ...]:
+        return parse_name_list(self.panels, PANELS, PANELS, "panels")
 
 
 @dataclass
@@ -82,27 +102,24 @@ def _region_stds(x_grid: np.ndarray, std: np.ndarray) -> Dict[str, float]:
     return {"in_between": float(in_between), "on_data": float(on_data)}
 
 
-def _build_bnn(config: RegressionConfig, dataset_size: int, guide_factory) -> tyxe.VariationalBNN:
-    rng = np.random.default_rng(config.seed)
-    net = nn.Sequential(nn.Linear(1, config.hidden_units, rng=rng), nn.Tanh(),
-                        nn.Linear(config.hidden_units, 1, rng=rng))
-    likelihood = tyxe.likelihoods.HomoskedasticGaussian(dataset_size, scale=config.noise_scale)
-    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
-    return tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+def _build_net(config: RegressionConfig, rng: np.random.Generator) -> nn.Sequential:
+    return nn.Sequential(nn.Linear(1, config.hidden_units, rng=rng), nn.Tanh(),
+                         nn.Linear(config.hidden_units, 1, rng=rng))
 
 
-def run_variational_regression(config: Optional[RegressionConfig] = None,
-                               local_reparam_predict: bool = True) -> RegressionResult:
+def _variational_regression(config: RegressionConfig,
+                            local_reparam_predict: bool = True) -> RegressionResult:
     """Panels (a)/(b): mean-field VI with/without local reparameterization at test time."""
-    config = config or RegressionConfig()
-    ppl.set_rng_seed(config.seed)
-    ppl.clear_param_store()
+    rng = config.seed_all()
     x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
     x_grid = regression_grid()
 
+    net = _build_net(config, rng)
+    likelihood = tyxe.likelihoods.HomoskedasticGaussian(len(x), scale=config.noise_scale)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
     guide_factory = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
                             init_loc_fn=tyxe.guides.init_to_normal("radford"))
-    bnn = _build_bnn(config, len(x), guide_factory)
+    bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
     loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=config.batch_size, shuffle=True,
                            rng=np.random.default_rng(config.seed))
     optim = ppl.optim.Adam({"lr": config.learning_rate})
@@ -127,17 +144,13 @@ def run_variational_regression(config: Optional[RegressionConfig] = None,
                             on_data_std=regions["on_data"], extra={"losses": losses})
 
 
-def run_hmc_regression(config: Optional[RegressionConfig] = None) -> RegressionResult:
+def _hmc_regression(config: RegressionConfig) -> RegressionResult:
     """Panel (c): the same model with HMC as the inference procedure."""
-    config = config or RegressionConfig()
-    ppl.set_rng_seed(config.seed)
-    ppl.clear_param_store()
+    rng = config.seed_all()
     x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
     x_grid = regression_grid()
 
-    rng = np.random.default_rng(config.seed)
-    net = nn.Sequential(nn.Linear(1, config.hidden_units, rng=rng), nn.Tanh(),
-                        nn.Linear(config.hidden_units, 1, rng=rng))
+    net = _build_net(config, rng)
     likelihood = tyxe.likelihoods.HomoskedasticGaussian(len(x), scale=config.noise_scale)
     prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
     kernel_builder = partial(ppl.infer.HMC, step_size=config.hmc_step_size,
@@ -160,11 +173,43 @@ def run_hmc_regression(config: Optional[RegressionConfig] = None) -> RegressionR
                             extra={"mean_accept_prob": accept})
 
 
-def run_figure1(config: Optional[RegressionConfig] = None) -> Dict[str, RegressionResult]:
-    """Run all three panels and return their results keyed by method name."""
-    config = config or RegressionConfig()
-    return {
-        "local_reparameterization": run_variational_regression(config, local_reparam_predict=True),
-        "shared_weight_samples": run_variational_regression(config, local_reparam_predict=False),
-        "hmc": run_hmc_regression(config),
+def _figure1(config: RegressionConfig) -> Dict[str, RegressionResult]:
+    """Run the selected panels and return their results keyed by method name."""
+    runners = {
+        "local_reparameterization": partial(_variational_regression,
+                                            local_reparam_predict=True),
+        "shared_weight_samples": partial(_variational_regression,
+                                         local_reparam_predict=False),
+        "hmc": _hmc_regression,
     }
+    return {panel: runners[panel](config) for panel in config.selected_panels()}
+
+
+@register("fig1-regression", config_cls=RegressionConfig, number="E1", artefact="Figure 1",
+          title="Bayesian nonlinear regression: mean-field VI (x2) vs. HMC")
+def _figure1_experiment(config: RegressionConfig):
+    results = _figure1(config)
+    metrics = {f"{method}_{key}": value
+               for method, result in results.items()
+               for key, value in result.summary().items() if key != "method"}
+    return metrics, results
+
+
+# ------------------------------------------------------------ legacy entry points
+def run_variational_regression(config: Optional[RegressionConfig] = None,
+                               local_reparam_predict: bool = True) -> RegressionResult:
+    """Deprecated shim over the ``fig1-regression`` registry path (panels a/b)."""
+    warn_deprecated_entry_point("run_variational_regression", "fig1-regression")
+    return _variational_regression(config or RegressionConfig(), local_reparam_predict)
+
+
+def run_hmc_regression(config: Optional[RegressionConfig] = None) -> RegressionResult:
+    """Deprecated shim over the ``fig1-regression`` registry path (panel c)."""
+    warn_deprecated_entry_point("run_hmc_regression", "fig1-regression")
+    return _hmc_regression(config or RegressionConfig())
+
+
+def run_figure1(config: Optional[RegressionConfig] = None) -> Dict[str, RegressionResult]:
+    """Deprecated shim over the ``fig1-regression`` registry path (all panels)."""
+    warn_deprecated_entry_point("run_figure1", "fig1-regression")
+    return _figure1(config or RegressionConfig())

@@ -279,10 +279,11 @@ class TestPredictGroupedEquivalence:
 
 
 class TestContinualEvaluationEquivalence:
-    def _tasks_and_bnn(self, suite, rng_seed=0):
+    def _tasks_and_bnn(self, suite, rng_seed=0, single_head=True):
         from repro.experiments.continual import ContinualConfig, _make_net, _make_tasks
 
         config = ContinualConfig.fast(suite)
+        config.single_head = single_head
         config.train_per_class = 4
         config.test_per_class = 3
         config.image_size = 8 if suite == "cifar" else 4
@@ -316,6 +317,45 @@ class TestContinualEvaluationEquivalence:
         ppl.set_rng_seed(21)
         vectorized = _evaluate_task_accuracies(bnn, net, tasks, 3, vectorized=True)
         assert looped == vectorized
+
+    def test_multi_head_shares_one_batched_forward(self):
+        # single_head=False: the head-indexed batched forward (task schedule)
+        # must agree with the looped reference and with the legacy per-task
+        # predict(vectorized=True) fallback exactly, logits included
+        from repro.experiments.continual import _evaluate_task_accuracies
+
+        tasks, net, bnn = self._tasks_and_bnn("mnist", single_head=False)
+        assert len(net.heads) == len(tasks) > 1
+        ppl.set_rng_seed(33)
+        looped = _evaluate_task_accuracies(bnn, net, tasks, 4, vectorized=False)
+        ppl.set_rng_seed(33)
+        vectorized = _evaluate_task_accuracies(bnn, net, tasks, 4, vectorized=True)
+        assert looped == vectorized
+
+        ppl.set_rng_seed(33)
+        per_task = []
+        for task in tasks:
+            net.set_active_task(task.task_id)
+            per_task.append(bnn.predict(nn.Tensor(task.test_inputs), num_predictions=4,
+                                        aggregate=False, vectorized=True).data)
+        ppl.set_rng_seed(33)
+        net.set_task_schedule(np.repeat([t.task_id for t in tasks], 4))
+        try:
+            grouped = bnn.predict_grouped(np.stack([t.test_inputs for t in tasks]),
+                                          num_predictions=4, aggregate=False)
+        finally:
+            net.set_task_schedule(None)
+        np.testing.assert_allclose(grouped.data, np.stack(per_task), atol=ATOL, rtol=0)
+
+    def test_task_schedule_validates_length(self):
+        tasks, net, bnn = self._tasks_and_bnn("mnist", single_head=False)
+        net.set_task_schedule([0, 1])
+        try:
+            with pytest.raises(ValueError, match="schedule"):
+                with nn.no_grad():
+                    net(nn.Tensor(np.stack([t.test_inputs for t in tasks])))
+        finally:
+            net.set_task_schedule(None)
 
 
 class TestMCMCPredictEquivalence:

@@ -1,0 +1,78 @@
+"""In-process smoke tests for the ``repro`` console script.
+
+Invokes :func:`repro.experiments.api.cli.main` directly (no subprocess) for
+``repro list`` and ``repro run <id> --fast`` on the two cheapest
+experiments, asserting exit code 0 and that a schema-conformant artifact
+file is written.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.api import SCHEMA_VERSION, experiment_ids
+from repro.experiments.api.cli import main
+
+# the two cheapest artefacts, shrunk further via typed --set overrides
+CHEAP_RUNS = {
+    "fig1-regression": ["--set", "panels=local_reparameterization",
+                        "--set", "n_per_cluster=6", "--set", "num_epochs=3",
+                        "--set", "num_predictions=2"],
+    "table2-gnn": ["--set", "num_nodes=60", "--set", "train_per_class=5",
+                   "--set", "val_per_class=5", "--set", "num_runs=1",
+                   "--set", "ml_iterations=5", "--set", "mf_iterations=5",
+                   "--set", "num_predictions=2"],
+}
+
+
+def test_list_prints_every_registered_id(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in experiment_ids():
+        assert experiment_id in out
+    for number in ("E1", "E2", "E3", "E4", "E5", "E6"):
+        assert number in out
+
+
+@pytest.mark.parametrize("experiment_id", sorted(CHEAP_RUNS))
+def test_run_fast_writes_artifact(experiment_id, tmp_path, capsys):
+    argv = ["run", experiment_id, "--fast", "--seed", "5",
+            "--output-dir", str(tmp_path)] + CHEAP_RUNS[experiment_id]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert experiment_id in out
+
+    artifact = tmp_path / f"{experiment_id}.json"
+    assert artifact.exists()
+    payload = json.loads(artifact.read_text())
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["experiment_id"] == experiment_id
+    assert payload["config"]["seed"] == 5
+    assert payload["config"]["fast"] is True
+    assert payload["metrics"]
+    assert payload["wall_clock_seconds"] > 0.0
+
+
+def test_set_output_dir_override_respected(tmp_path):
+    target = tmp_path / "viaset"
+    argv = ["run", "fig1-regression", "--fast",
+            "--set", f"output_dir={target}"] + CHEAP_RUNS["fig1-regression"]
+    assert main(argv) == 0
+    assert (target / "fig1-regression.json").exists()
+
+
+def test_run_no_artifact_flag(tmp_path):
+    argv = ["run", "fig1-regression", "--fast", "--no-artifact",
+            "--output-dir", str(tmp_path)] + CHEAP_RUNS["fig1-regression"]
+    assert main(argv) == 0
+    assert not (tmp_path / "fig1-regression.json").exists()
+
+
+def test_unknown_experiment_id_exits_2(capsys):
+    assert main(["run", "fig9-unknown"]) == 2
+    assert "fig9-unknown" in capsys.readouterr().err
+
+
+def test_bad_override_exits_2(capsys):
+    assert main(["run", "fig1-regression", "--fast", "--set", "not_a_field=1"]) == 2
+    assert "not_a_field" in capsys.readouterr().err

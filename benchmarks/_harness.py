@@ -37,6 +37,29 @@ def record_bench(name: str, payload: dict) -> Path:
     return path
 
 
+def record_bench_entry(name: str, workload: str, payload: dict) -> Path:
+    """Update one workload's entry in ``benchmarks/BENCH_<name>.json``.
+
+    Used when one trajectory file tracks several related workloads (e.g. the
+    render engine's evaluation *and* training paths): the file maps
+    ``workload -> payload`` and each gate rewrites only its own entry.  A
+    legacy flat single-workload layout (top-level ``"workload"`` key, as the
+    original ``BENCH_render.json`` used) is migrated in place on first
+    update.
+    """
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    entries = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+        if "workload" in data:  # legacy flat layout
+            entries[data.pop("workload")] = data
+        else:
+            entries = data
+    entries[workload] = payload
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return path
+
+
 def best_of(fn, repeats: int = 5) -> float:
     """Best wall-clock time of ``repeats`` runs of ``fn`` (damps scheduler noise)."""
     best = float("inf")

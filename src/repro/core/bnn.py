@@ -168,13 +168,27 @@ class GuidedBNN(_BNN):
                 stacks[name].append(tr[name]["value"])
         return OrderedDict((name, nn_stack(values)) for name, values in (stacks or {}).items())
 
-    def _check_vectorized_coverage(self, samples: Dict[str, Tensor]) -> None:
-        uncovered = [name for name in self.param_dists if name not in samples]
-        if uncovered:
-            raise ValueError(
-                "vectorized forward requires the guide to cover every Bayesian "
-                f"site; not covered: {uncovered} — use the looped path "
-                "(vectorized=False) for partially guided networks")
+    def _complete_with_prior_samples(self, samples: Dict[str, Tensor],
+                                     num_samples: int) -> "OrderedDict[str, Tensor]":
+        """Fill guide-uncovered Bayesian sites with stacked per-sample prior draws.
+
+        The looped :meth:`guided_forward` path samples every site the guide
+        does not cover from its prior on each pass; the vectorized equivalent
+        is one ``(num_samples, ...)``-stacked draw per uncovered site, taken
+        in ``param_dists`` (model-execution) order.  Each batched draw
+        consumes the RNG stream exactly like ``num_samples`` sequential
+        per-pass draws of that site, so uncovered sites keep their full
+        per-sample variability instead of collapsing to one shared value.
+        """
+        completed: "OrderedDict[str, Tensor]" = OrderedDict()
+        for name, site_dist in self.param_dists.items():
+            if name in samples:
+                completed[name] = samples[name]
+            elif getattr(site_dist, "has_rsample", False):
+                completed[name] = site_dist.rsample((num_samples,))
+            else:
+                completed[name] = site_dist.sample((num_samples,))
+        return completed
 
     def posterior_weight_samples(self, num_samples: int, *args, **kwargs
                                  ) -> "OrderedDict[str, Tensor]":
@@ -184,12 +198,14 @@ class GuidedBNN(_BNN):
         (e.g. :meth:`repro.render.VolumetricRenderer.render_posterior`): the
         returned stacks can be fed back through
         ``vectorized_forward(..., samples=...)``.  Draw order is RNG-identical
-        to ``num_samples`` looped :meth:`guided_forward` calls, and the guide
-        must cover every Bayesian site.
+        to ``num_samples`` looped :meth:`guided_forward` calls when the guide
+        covers every Bayesian site; sites outside the guide are filled with
+        stacked per-sample *prior* draws (guide stack first, then uncovered
+        sites in model order), mirroring the looped path's per-pass prior
+        sampling.
         """
         samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
-        self._check_vectorized_coverage(samples)
-        return OrderedDict((name, samples[name]) for name in self.param_dists)
+        return self._complete_with_prior_samples(samples, num_samples)
 
     def vectorized_forward(self, *args, num_samples: int = 1,
                            samples: Optional[Dict[str, Tensor]] = None, **kwargs):
@@ -207,10 +223,13 @@ class GuidedBNN(_BNN):
         stacked draw with its own slice of the input batch, as the batched
         renderer and grouped continual-learning prediction do.
 
-        Requires the guide to cover every Bayesian site: the looped path
-        samples uncovered sites from the prior on each pass, which a single
-        batched execution cannot reproduce, so that configuration raises
-        instead of silently collapsing the uncovered sites' uncertainty.
+        The guide does not have to cover every Bayesian site: uncovered sites
+        receive stacked per-sample prior draws via
+        :meth:`_complete_with_prior_samples`, just as the looped path samples
+        them from the prior on each pass.  (The coarse draw order differs —
+        the whole guide stack is drawn before the prior stacks — so partially
+        guided outputs match the looped path in distribution, and exactly
+        when the guide consumes no randomness or ``num_samples == 1``.)
         """
         if samples is None:
             samples = self._stacked_guide_samples(num_samples, *args, **kwargs)
@@ -218,8 +237,9 @@ class GuidedBNN(_BNN):
             raise ValueError(
                 "pass either num_samples or pre-drawn samples, not both: the "
                 "sample count is determined by the stacks' leading axis")
-        self._check_vectorized_coverage(samples)
-        values = OrderedDict((name, samples[name]) for name in self.param_dists)
+        elif samples:
+            num_samples = next(iter(samples.values())).shape[0]
+        values = self._complete_with_prior_samples(samples, num_samples)
         with self._substituted_params(values), nn_F.vectorized_samples(1):
             return self.net(*args, **kwargs)
 

@@ -98,13 +98,20 @@ def parse_name_list(raw: str, allowed: Iterable[str], default: Iterable[str],
 
 
 def parse_overrides(pairs: Optional[Iterable[str]]) -> Dict[str, str]:
-    """Split CLI ``--set key=value`` arguments into an override mapping."""
+    """Split CLI ``--set key=value`` arguments into an override mapping.
+
+    Keys *and* values are whitespace-stripped, so a quoted ``--set 'key= 4'``
+    round-trips the same as ``--set key=4`` instead of failing typed coercion
+    on the padded string; inner whitespace is preserved.  Repeating a key
+    keeps the last value.
+    """
     overrides: Dict[str, str] = {}
     for pair in pairs or ():
         key, sep, value = pair.partition("=")
+        key = key.strip()
         if not sep or not key:
             raise ValueError(f"override {pair!r} is not of the form key=value")
-        overrides[key.strip()] = value
+        overrides[key] = value.strip()
     return overrides
 
 

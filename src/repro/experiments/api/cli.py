@@ -11,7 +11,9 @@ Usage::
 smoke-test configuration), applies typed ``--set key=value`` overrides,
 executes the runner and writes the JSON artifact
 (``<output-dir>/<experiment-id>.json``, default ``artifacts/``).  Exit code 0
-on success, 2 on bad arguments / unknown experiment ids.
+on success, 2 on bad arguments / unknown experiment ids.  ``repro run-all``
+keeps going past failing experiments, prints a pass/fail summary and exits 1
+if any experiment failed.
 """
 
 from __future__ import annotations
@@ -56,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_all = subparsers.add_parser("run-all", help="run every registered experiment")
     add_run_options(run_all)
+    run_all.add_argument("--set", dest="overrides", action="append", default=[],
+                         metavar="key=value",
+                         help="typed config override applied to every experiment "
+                              "(repeatable); a key unknown to an experiment's "
+                              "config makes that experiment fail")
 
     return parser
 
@@ -90,6 +97,9 @@ def _print_result(spec, result, stream) -> None:
 def _cmd_list(stream) -> int:
     rows = [(spec.number, spec.experiment_id, spec.artefact, spec.title)
             for spec in all_experiments()]
+    if not rows:
+        print("repro: no experiments registered", file=stream)
+        return 0
     id_width = max(len(row[1]) for row in rows)
     artefact_width = max(len(row[2]) for row in rows)
     print(f"{'#':<4} {'id':<{id_width}} {'artefact':<{artefact_width}} title", file=stream)
@@ -116,15 +126,28 @@ def _cmd_run(args: argparse.Namespace, stream) -> int:
 
 
 def _cmd_run_all(args: argparse.Namespace, stream) -> int:
-    overrides = _collect_overrides(args)
+    try:
+        overrides = _collect_overrides(args)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    statuses: List[tuple] = []
     for spec in all_experiments():
         try:
             result = spec.run(fast=args.fast, overrides=overrides)
-        except ValueError as exc:
-            print(f"repro: {spec.experiment_id}: {exc}", file=sys.stderr)
-            return 2
+        except Exception as exc:  # one failing experiment must not abort the sweep
+            print(f"repro: {spec.experiment_id}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            statuses.append((spec.experiment_id, False))
+            continue
         _print_result(spec, result, stream)
-    return 0
+        statuses.append((spec.experiment_id, True))
+    failed = [experiment_id for experiment_id, ok in statuses if not ok]
+    print(f"run-all: {len(statuses) - len(failed)}/{len(statuses)} experiments passed",
+          file=stream)
+    for experiment_id, ok in statuses:
+        print(f"  {'PASS' if ok else 'FAIL'}  {experiment_id}", file=stream)
+    return 1 if failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -16,6 +16,10 @@ or :func:`repro.experiments.api.run_experiment`.  Posterior views are
 rendered through the batched engine by default
 (``vectorized_eval=True``, RNG-identical to the looped reference); pass
 ``--set vectorized_eval=false`` for the per-angle/per-sample loops.
+Training can likewise render a minibatch of views per optimizer step through
+one batched field evaluation: ``--set batched_train_views=4`` (the default
+``None`` keeps the reference one-view-per-step loop, and ``1`` reproduces it
+bit-for-bit through ``render_batch``).
 """
 
 from __future__ import annotations
@@ -60,6 +64,15 @@ class NeRFConfig(BaseExperimentConfig):
     # the looped reference, which stays reachable via vectorized_eval=False)
     # angles per batched forward in vectorized eval (None = all at once)
     render_chunk_size: Optional[int] = None
+    # training views rendered per optimizer step through ONE batched field
+    # evaluation (``VolumetricRenderer.render_batch``); ``None`` keeps the
+    # reference one-view-per-step loop.  ``batched_train_views=1`` is
+    # RNG-identical to that reference (same view-index draws, same field
+    # queries); larger minibatches average the per-view losses and — for the
+    # Bayesian variant — share the step's single posterior weight draw
+    # across the minibatch, exactly like the per-view loop within one
+    # ``PytorchBNN`` forward would.
+    batched_train_views: Optional[int] = None
 
     @classmethod
     def fast(cls) -> "NeRFConfig":
@@ -98,16 +111,48 @@ def _view_loss(image: nn.Tensor, silhouette: nn.Tensor, target: Dict[str, np.nda
     return image_loss + silhouette_weight * silhouette_loss
 
 
+def _minibatch_view_loss(images: nn.Tensor, silhouettes: nn.Tensor, targets: List[Dict],
+                         silhouette_weight: float) -> nn.Tensor:
+    """Loss of a ``(B, H, W, ...)`` stack of rendered views against its targets.
+
+    ``mse_loss`` means over every element, so this equals the average of the
+    per-view :func:`_view_loss` values (and is identical to it for ``B=1``).
+    """
+    target_images = nn.Tensor(np.stack([t["image"] for t in targets]))
+    target_silhouettes = nn.Tensor(np.stack([t["silhouette"] for t in targets]))
+    return (F.mse_loss(images, target_images)
+            + silhouette_weight * F.mse_loss(silhouettes, target_silhouettes))
+
+
+def _train_step_loss(renderer: VolumetricRenderer, field, train_set: List[Dict],
+                     config: NeRFConfig, rng: np.random.Generator) -> nn.Tensor:
+    """Data loss of one training step: sample view(s), render, compare.
+
+    ``config.batched_train_views=None`` is the one-view-per-step reference;
+    an integer ``B`` samples ``B`` views (consuming the view-index RNG stream
+    exactly like ``B`` sequential reference draws) and renders them through
+    one :meth:`VolumetricRenderer.render_batch` field evaluation.
+    """
+    batch = config.batched_train_views
+    if batch is None:
+        target = train_set[int(rng.integers(len(train_set)))]
+        image, silhouette = renderer(target["angle"], field)
+        return _view_loss(image, silhouette, target, config.silhouette_weight)
+    if batch < 1:
+        raise ValueError("batched_train_views must be a positive view count or None")
+    targets = [train_set[int(rng.integers(len(train_set)))] for _ in range(batch)]
+    images, silhouettes = renderer.render_batch([t["angle"] for t in targets], field)
+    return _minibatch_view_loss(images, silhouettes, targets, config.silhouette_weight)
+
+
 def _train_deterministic(renderer: VolumetricRenderer, train_set: List[Dict],
                          config: NeRFConfig, rng: np.random.Generator):
     field_net = make_nerf_field(num_frequencies=config.num_frequencies, hidden=config.hidden,
                                 depth=config.depth, rng=rng)
     optim = nn.Adam(field_net.parameters(), lr=config.learning_rate)
-    for iteration in range(config.det_iterations):
-        target = train_set[int(rng.integers(len(train_set)))]
+    for _ in range(config.det_iterations):
         optim.zero_grad()
-        image, silhouette = renderer(target["angle"], field_net)
-        loss = _view_loss(image, silhouette, target, config.silhouette_weight)
+        loss = _train_step_loss(renderer, field_net, train_set, config, rng)
         loss.backward()
         optim.step()
     return field_net
@@ -130,10 +175,8 @@ def _train_bayesian(renderer: VolumetricRenderer, train_set: List[Dict], config:
     dummy_points = nn.Tensor(np.zeros((4, 3)))
     optim = nn.Adam(nerf_bnn.pytorch_parameters(dummy_points), lr=config.learning_rate)
     for iteration in range(config.bayes_iterations):
-        target = train_set[int(rng.integers(len(train_set)))]
         optim.zero_grad()
-        image, silhouette = renderer(target["angle"], nerf_bnn)
-        data_loss = _view_loss(image, silhouette, target, config.silhouette_weight)
+        data_loss = _train_step_loss(renderer, nerf_bnn, train_set, config, rng)
         anneal = min(1.0, (iteration + 1) / max(config.kl_anneal_iterations, 1))
         loss = data_loss + anneal / total_pixels * nerf_bnn.cached_kl_loss
         loss.backward()

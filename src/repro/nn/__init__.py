@@ -9,7 +9,7 @@ verbatim.
 from . import functional
 from . import init
 from . import models
-from .functional import sample_ndim, vectorized_samples
+from .functional import sample_ndim, sample_sizes, vectorized_samples
 from .data import DataLoader, Dataset, Subset, TensorDataset, random_split
 from .modules import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d, Dropout,
                       Flatten, Identity, Linear, MaxPool2d, Module, ModuleList,
@@ -34,7 +34,7 @@ __all__ = [
     # data
     "Dataset", "TensorDataset", "Subset", "DataLoader", "random_split",
     # vectorized-sample execution mode
-    "sample_ndim", "vectorized_samples",
+    "sample_ndim", "sample_sizes", "vectorized_samples",
     # submodules
     "functional", "init", "models",
 ]

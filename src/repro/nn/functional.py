@@ -21,6 +21,7 @@ from .tensor import Tensor, concatenate, is_grad_enabled, unbroadcast, where
 
 __all__ = [
     "sample_ndim",
+    "sample_sizes",
     "vectorized_samples",
     "linear",
     "conv2d",
@@ -58,31 +59,63 @@ __all__ = [
 # sensitive modules (``Flatten``) and batch-size bookkeeping (the likelihood
 # plate scaling) consult this context to know how many leading axes of an
 # activation are sample axes rather than data axes.
+#
+# A context may also *declare the sizes* of its sample axes.  The ``repro.ppl``
+# runtime consults them (via :func:`sample_sizes`) so that a latent ``sample``
+# statement executing inside a vectorized replay — i.e. a site the guide does
+# not cover — draws one independent prior sample per particle, stacked along
+# the declared axes, instead of a single draw silently shared by every
+# particle.  Size-less contexts (``vectorized_samples(1)``) keep the plain
+# single-draw behaviour, which is what the batched *forward-only* paths (no
+# sample statements inside) use.
 # --------------------------------------------------------------------------
-_SAMPLE_NDIM = 0
+_SAMPLE_SIZES: Tuple[Optional[int], ...] = ()
 
 
 def sample_ndim() -> int:
     """Number of leading vectorized-sample dimensions currently active."""
-    return _SAMPLE_NDIM
+    return len(_SAMPLE_SIZES)
+
+
+def sample_sizes() -> Tuple[Optional[int], ...]:
+    """Sizes of the active leading sample axes (outermost first).
+
+    Entries are ``None`` for contexts that declared only a dimension count;
+    an axis has a concrete size only when its ``vectorized_samples`` call
+    passed one (as the vectorized ELBO replay does with ``num_particles``).
+    """
+    return _SAMPLE_SIZES
 
 
 @contextlib.contextmanager
-def vectorized_samples(ndim: int = 1):
+def vectorized_samples(ndim: int = 1, sizes: Optional[Tuple[Optional[int], ...]] = None):
     """Declare that activations carry ``ndim`` extra leading sample axes.
 
     Entered by the vectorized prediction / ELBO paths around the batched
-    network forward; nests additively.
+    network forward; nests additively.  ``sizes`` optionally gives the
+    concrete length of each declared axis (a tuple of ``ndim`` ints, or a
+    single int when ``ndim == 1``); sized axes let latent ``sample``
+    statements executing inside the context draw per-particle stacked values
+    (see :func:`sample_sizes`).
     """
-    global _SAMPLE_NDIM
+    global _SAMPLE_SIZES
     if ndim < 0:
         raise ValueError("ndim must be non-negative")
-    previous = _SAMPLE_NDIM
-    _SAMPLE_NDIM = previous + ndim
+    if sizes is None:
+        declared: Tuple[Optional[int], ...] = (None,) * ndim
+    else:
+        declared = (sizes,) if isinstance(sizes, int) else tuple(sizes)
+        if len(declared) != ndim:
+            raise ValueError(f"sizes {declared!r} must have one entry per declared "
+                             f"sample axis (ndim={ndim})")
+        if any(s is not None and s < 1 for s in declared):
+            raise ValueError("sample-axis sizes must be positive")
+    previous = _SAMPLE_SIZES
+    _SAMPLE_SIZES = previous + declared
     try:
         yield
     finally:
-        _SAMPLE_NDIM = previous
+        _SAMPLE_SIZES = previous
 
 
 # --------------------------------------------------------------------------

@@ -13,6 +13,19 @@ through a single batched forward pass of the network.  The guide is still
 sampled particle-by-particle, which keeps the estimator RNG-identical to the
 looped path while removing the ``num_particles``-fold model execution — the
 interpreter-bound hot loop.
+
+The guide does not have to cover every latent site of the model.  The replay
+runs inside a *sized* ``repro.nn.vectorized_samples`` context, so a latent
+site absent from the stacked guide trace draws ``num_particles`` independent
+prior samples stacked along the particle axis (one per particle, exactly as
+the looped estimator would draw them) instead of a single shared value; its
+log-density then sums over the particle axis like every other Monte-Carlo
+term.  The batched draw consumes the RNG stream like ``num_particles``
+sequential per-particle draws of that site, but the coarse order differs
+from the looped path (all guide draws first, then the prior draws), so
+partially-guided losses match the looped estimator in distribution — and
+bit-for-bit whenever the guide itself consumes no randomness (e.g.
+``AutoDelta``) or ``num_particles == 1``.
 """
 
 from __future__ import annotations
@@ -35,11 +48,12 @@ class ELBO:
     """Base class for evidence-lower-bound estimators.
 
     ``vectorize_particles`` enables the leading-particle-dimension execution
-    mode described in the module docstring.  It requires (a) a network whose
+    mode described in the module docstring.  It requires a network whose
     layers broadcast over leading weight dimensions (all ``repro.nn`` linear,
-    conv and norm layers do) and (b) a guide covering every latent site of
-    the model; an uncovered site would receive a single shared prior draw
-    instead of one per particle, so that configuration raises ``ValueError``.
+    conv and norm layers do).  Latent sites the guide does not cover are
+    sampled from their priors with one independent draw per particle, stacked
+    on the particle axis (see the module docstring), so partially-guided
+    models vectorize too.
     """
 
     def __init__(self, num_particles: int = 1, vectorize_particles: bool = False) -> None:
@@ -54,21 +68,19 @@ class ELBO:
         return model_trace, guide_trace
 
     def _get_vectorized_traces(self, model: Callable, guide: Callable, *args, **kwargs):
-        """Stack ``num_particles`` guide traces and replay the model once."""
+        """Stack ``num_particles`` guide traces and replay the model once.
+
+        The replay runs inside a sized ``vectorized_samples`` context: latent
+        sites the stacked guide trace does not cover draw ``num_particles``
+        stacked per-particle prior samples instead of one shared value, so
+        their log-densities sum over the particle axis exactly like the
+        guide-covered sites'.
+        """
         guide_traces = [trace(guide).get_trace(*args, **kwargs)
                         for _ in range(self.num_particles)]
         guide_trace = stack_traces(guide_traces)
-        with vectorized_samples(1):
+        with vectorized_samples(1, sizes=(self.num_particles,)):
             model_trace = trace(replay(model, trace=guide_trace)).get_trace(*args, **kwargs)
-        uncovered = [name for name in model_trace.stochastic_nodes()
-                     if name not in guide_trace]
-        if uncovered:
-            # such sites received one shared prior draw instead of one per
-            # particle, so the estimator would be silently wrong
-            raise ValueError(
-                "vectorize_particles=True requires the guide to cover every "
-                f"latent site of the model; not covered: {uncovered} — use the "
-                "looped estimator (vectorize_particles=False) instead")
         return model_trace, guide_trace
 
     def differentiable_loss(self, model: Callable, guide: Callable, *args, **kwargs) -> Tensor:

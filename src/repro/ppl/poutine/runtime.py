@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from ...nn.functional import sample_sizes as _sample_sizes
+
 __all__ = ["Message", "Messenger", "apply_stack", "am_i_wrapped", "get_stack"]
 
 Message = Dict[str, Any]
@@ -78,6 +80,49 @@ class Messenger:
         """Hook run after the site value exists (outermost first on the way back)."""
 
 
+def _vectorized_sample_shape(msg: Message) -> tuple:
+    """Leading sample shape a latent draw must carry under vectorized replay.
+
+    Inside a *sized* ``repro.nn.vectorized_samples`` context (the vectorized
+    ELBO replays the model against a particle-stacked guide trace with
+    ``sizes=(num_particles,)``) every latent site that actually executes is
+    one the guide did not cover, so it must receive ``num_particles``
+    independent prior draws stacked along the declared axes — a single shared
+    draw would silently collapse the site's per-particle variability.  The
+    batched draw consumes the RNG stream exactly like that many sequential
+    per-particle draws of the same site (NumPy generators fill sample-shape
+    batches from the stream in order).  Size-less contexts (plain batched
+    forwards with no sample statements of their own) keep the default
+    single-draw behaviour, as does an explicit caller-provided sample shape.
+
+    One configuration is refused: a site whose distribution's own shape
+    already *leads* with the declared particle sizes — e.g. its parameters
+    were computed from a particle-stacked upstream latent, as in a
+    hierarchical model whose parent the guide covers but whose child it does
+    not.  Prepending the particle axes there would draw ``K x K`` values
+    (silently wrong), while drawing plainly cannot be distinguished from a
+    genuine batch axis that coincidentally equals ``num_particles``, so the
+    estimator raises and points at the looped path instead.
+    """
+    sizes = _sample_sizes()
+    if not sizes or any(size is None for size in sizes) or msg["args"] or msg["kwargs"]:
+        return ()
+    sizes = tuple(sizes)
+    fn = msg["fn"]
+    fn_shape = tuple(getattr(fn, "batch_shape", ())) + tuple(getattr(fn, "event_shape", ()))
+    if fn_shape[:len(sizes)] == sizes:
+        raise ValueError(
+            f"cannot vectorize latent site {msg['name']!r}: its distribution's "
+            f"shape {fn_shape} already leads with the active particle sizes "
+            f"{sizes}, so a batched prior draw cannot tell a particle axis "
+            "from a genuine batch axis (this happens when the site's "
+            "parameters depend on a particle-stacked latent, or when a batch "
+            "dimension coincidentally equals num_particles) — cover the site "
+            "with the guide or use the looped estimator "
+            "(vectorize_particles=False / vectorized=False)")
+    return sizes
+
+
 def default_process_message(msg: Message) -> None:
     """Fill in ``msg['value']`` by actually sampling / fetching the parameter."""
     if msg["done"]:
@@ -85,7 +130,13 @@ def default_process_message(msg: Message) -> None:
     if msg["value"] is None:
         if msg["type"] == "sample":
             fn = msg["fn"]
-            if getattr(fn, "has_rsample", False):
+            sample_shape = _vectorized_sample_shape(msg)
+            if sample_shape:
+                if getattr(fn, "has_rsample", False):
+                    msg["value"] = fn.rsample(sample_shape)
+                else:
+                    msg["value"] = fn.sample(sample_shape)
+            elif getattr(fn, "has_rsample", False):
                 msg["value"] = fn.rsample(*msg["args"], **msg["kwargs"])
             else:
                 msg["value"] = fn.sample(*msg["args"], **msg["kwargs"])

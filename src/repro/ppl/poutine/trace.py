@@ -25,6 +25,9 @@ class Trace:
 
     def __init__(self) -> None:
         self.nodes: "OrderedDict[str, Message]" = OrderedDict()
+        #: number of per-particle traces merged by :func:`stack_traces`
+        #: (1 for an ordinary single-execution trace)
+        self.num_stacked: int = 1
 
     def add_node(self, name: str, site: Optional[Message] = None, **fields) -> None:
         if name in self.nodes:
@@ -119,7 +122,12 @@ def stack_traces(traces: Sequence["Trace"]) -> "Trace":
     distributions — whose location is itself a per-particle sample, as in the
     low-rank joint guide — are rebuilt around the stacked value so their
     log-density stays zero for every particle.  Replaying a model against the
-    stacked trace runs one batched forward pass carrying all ``K`` samples.
+    stacked trace runs one batched forward pass carrying all ``K`` samples;
+    latent sites the stacked trace does *not* cover draw their own ``K``
+    per-particle prior samples when the replay runs inside a sized
+    ``repro.nn.vectorized_samples`` context (see
+    :func:`repro.ppl.poutine.runtime.default_process_message`).  The number
+    of merged traces is recorded on the result as ``num_stacked``.
     """
     if not traces:
         raise ValueError("stack_traces requires at least one trace")
@@ -127,6 +135,7 @@ def stack_traces(traces: Sequence["Trace"]) -> "Trace":
 
     first = traces[0]
     stacked = Trace()
+    stacked.num_stacked = len(traces)
     for name, site in first.nodes.items():
         node = dict(site)
         if site.get("type") == "sample" and not site.get("is_observed"):

@@ -96,6 +96,25 @@ class TestConfigProtocol:
         with pytest.raises(ValueError):
             parse_overrides(["missing-equals"])
 
+    def test_parse_overrides_strips_keys_and_values(self):
+        # `--set key= value` (a shell-split space after the `=`) must
+        # round-trip the same as `--set key=value`; inner whitespace stays
+        assert parse_overrides(["key= value"]) == parse_overrides(["key=value"])
+        assert parse_overrides([" key =\tvalue "]) == {"key": "value"}
+        assert parse_overrides(["title= a b "]) == {"title": "a b"}
+        with pytest.raises(ValueError):
+            parse_overrides([" =value"])  # blank key is still rejected
+
+    def test_parse_overrides_repeated_key_last_wins(self):
+        assert parse_overrides(["seed=1", "seed= 2"]) == {"seed": "2"}
+
+    def test_stripped_override_value_coerces_like_unstripped(self):
+        spec = get_experiment("fig3-nerf")
+        plain = spec.make_config(overrides=parse_overrides(["num_posterior_samples=4"]))
+        spaced = spec.make_config(overrides=parse_overrides(["num_posterior_samples= 4"]))
+        assert plain == spaced
+        assert plain.num_posterior_samples == 4
+
     def test_config_dict_round_trip(self):
         for spec in all_experiments():
             config = spec.make_config(fast=True)

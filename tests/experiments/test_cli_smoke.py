@@ -76,3 +76,92 @@ def test_unknown_experiment_id_exits_2(capsys):
 def test_bad_override_exits_2(capsys):
     assert main(["run", "fig1-regression", "--fast", "--set", "not_a_field=1"]) == 2
     assert "not_a_field" in capsys.readouterr().err
+
+
+class TestRunAllRobustness:
+    """``repro run-all`` finishes the sweep, summarizes and exits 1 on failure."""
+
+    @staticmethod
+    def _spec(experiment_id, runner, number="E9"):
+        from repro.experiments.api.base import BaseExperimentConfig
+        from repro.experiments.api.registry import ExperimentSpec
+
+        return ExperimentSpec(experiment_id=experiment_id,
+                              config_cls=BaseExperimentConfig, runner=runner,
+                              number=number, artefact="Test", title="test spec")
+
+    def _patch(self, monkeypatch, specs):
+        from repro.experiments.api import cli
+
+        monkeypatch.setattr(cli, "all_experiments", lambda: specs)
+
+    def test_continues_past_failures_and_exits_1(self, monkeypatch, capsys):
+        ran = []
+
+        def ok_runner(config):
+            ran.append("ok")
+            return {"metric": 1.0}, None
+
+        def boom_runner(config):
+            ran.append("boom")
+            raise RuntimeError("kaboom")
+
+        self._patch(monkeypatch, [self._spec("exp-boom", boom_runner, "E8"),
+                                  self._spec("exp-ok", ok_runner, "E9")])
+        assert main(["run-all", "--no-artifact"]) == 1
+        captured = capsys.readouterr()
+        # the failure did not abort the sweep: the later experiment still ran
+        assert ran == ["boom", "ok"]
+        assert "kaboom" in captured.err
+        assert "run-all: 1/2 experiments passed" in captured.out
+        assert "FAIL  exp-boom" in captured.out
+        assert "PASS  exp-ok" in captured.out
+
+    def test_non_value_errors_are_caught(self, monkeypatch, capsys):
+        def type_error_runner(config):
+            raise TypeError("not a ValueError")
+
+        self._patch(monkeypatch, [self._spec("exp-typeerror", type_error_runner)])
+        assert main(["run-all", "--no-artifact"]) == 1
+        assert "TypeError" in capsys.readouterr().err
+
+    def test_set_overrides_reach_every_experiment(self, monkeypatch, capsys):
+        seen = []
+
+        def recording_runner(config):
+            seen.append(config.seed)
+            return {"m": 1.0}, None
+
+        self._patch(monkeypatch, [self._spec("exp-a", recording_runner, "E8"),
+                                  self._spec("exp-b", recording_runner, "E9")])
+        assert main(["run-all", "--no-artifact", "--set", "seed=7"]) == 0
+        assert seen == [7, 7]
+
+    def test_malformed_set_override_exits_2(self, monkeypatch, capsys):
+        self._patch(monkeypatch, [self._spec("exp-a", lambda c: ({"m": 1.0}, None))])
+        assert main(["run-all", "--no-artifact", "--set", "missing-equals"]) == 2
+        assert "missing-equals" in capsys.readouterr().err
+
+    def test_unknown_key_fails_only_that_experiment(self, monkeypatch, capsys):
+        # per-experiment config errors are sweep failures, not argument errors
+        self._patch(monkeypatch, [self._spec("exp-a", lambda c: ({"m": 1.0}, None))])
+        assert main(["run-all", "--no-artifact", "--set", "not_a_field=1"]) == 1
+        captured = capsys.readouterr()
+        assert "not_a_field" in captured.err
+        assert "run-all: 0/1 experiments passed" in captured.out
+
+    def test_all_passing_exits_0_with_summary(self, monkeypatch, capsys):
+        self._patch(monkeypatch, [self._spec("exp-a", lambda c: ({"m": 1.0}, None), "E8"),
+                                  self._spec("exp-b", lambda c: ({"m": 2.0}, None), "E9")])
+        assert main(["run-all", "--no-artifact"]) == 0
+        out = capsys.readouterr().out
+        assert "run-all: 2/2 experiments passed" in out
+        assert out.count("PASS") == 2 and "FAIL" not in out
+
+
+def test_list_empty_registry_prints_friendly_message(monkeypatch, capsys):
+    from repro.experiments.api import cli
+
+    monkeypatch.setattr(cli, "all_experiments", lambda: [])
+    assert main(["list"]) == 0
+    assert "no experiments registered" in capsys.readouterr().out

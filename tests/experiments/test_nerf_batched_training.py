@@ -1,0 +1,161 @@
+"""Equivalence tests for the batched NeRF *training* path.
+
+``NeRFConfig.batched_train_views`` renders a minibatch of training views per
+optimizer step through one :meth:`VolumetricRenderer.render_batch` field
+evaluation.  The contract mirrors the evaluation engine's:
+
+* ``batched_train_views=1`` is RNG-identical to the reference one-view-per-
+  step loop (``batched_train_views=None``) — same view-index draws, same
+  field queries, same losses and trained parameters, for both the
+  deterministic and the Bayesian (``PytorchBNN``) variants;
+* for ``B > 1`` the minibatch loss equals the average of the per-view losses
+  of the same views, gradients included.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, ppl
+from repro.experiments.nerf import (NeRFConfig, _minibatch_view_loss, _train_bayesian,
+                                    _train_deterministic, _train_step_loss, _view_loss)
+from repro.render import VolumetricRenderer, make_nerf_field, make_scene_dataset
+
+ATOL = 1e-12
+
+
+def _tiny_config(**overrides) -> NeRFConfig:
+    config = NeRFConfig(image_size=6, num_samples_per_ray=4, num_train_views=4,
+                        num_test_views=2, hidden=8, depth=2, num_frequencies=2,
+                        det_iterations=5, bayes_iterations=5, kl_anneal_iterations=3,
+                        num_posterior_samples=2, fast=True)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _tiny_scene(config):
+    renderer = VolumetricRenderer(image_size=config.image_size,
+                                  num_samples_per_ray=config.num_samples_per_ray)
+    angles = np.linspace(0.0, 300.0, config.num_train_views)
+    return renderer, make_scene_dataset(renderer, angles)
+
+
+class TestBatchOfOneMatchesReference:
+    def test_deterministic_training_is_rng_identical(self):
+        config = _tiny_config()
+        renderer, train_set = _tiny_scene(config)
+
+        def train(batched):
+            ppl.clear_param_store()
+            ppl.set_rng_seed(0)
+            config.batched_train_views = batched
+            return _train_deterministic(renderer, train_set, config,
+                                        np.random.default_rng(7))
+
+        reference = train(None)
+        batched = train(1)
+        for (name, p_ref), (_, p_bat) in zip(reference.named_parameters(),
+                                             batched.named_parameters()):
+            np.testing.assert_allclose(p_bat.data, p_ref.data, atol=ATOL, rtol=0,
+                                       err_msg=name)
+
+    def test_bayesian_training_is_rng_identical(self):
+        config = _tiny_config()
+        renderer, train_set = _tiny_scene(config)
+
+        def train(batched):
+            ppl.clear_param_store()
+            ppl.set_rng_seed(0)
+            config.batched_train_views = batched
+            return _train_bayesian(renderer, train_set, config,
+                                   np.random.default_rng(7))
+
+        reference = train(None)
+        ref_params = [p.data.copy() for p in reference.guide_parameters()]
+        batched = train(1)
+        bat_params = [p.data.copy() for p in batched.guide_parameters()]
+        assert ref_params and len(ref_params) == len(bat_params)
+        for ref, bat in zip(ref_params, bat_params):
+            np.testing.assert_allclose(bat, ref, atol=ATOL, rtol=0)
+
+    def test_step_loss_is_identical_and_consumes_same_view_stream(self):
+        config = _tiny_config()
+        renderer, train_set = _tiny_scene(config)
+        field = make_nerf_field(num_frequencies=2, hidden=8, depth=2,
+                                rng=np.random.default_rng(3))
+        config.batched_train_views = None
+        rng_ref = np.random.default_rng(5)
+        reference = _train_step_loss(renderer, field, train_set, config, rng_ref)
+        config.batched_train_views = 1
+        rng_bat = np.random.default_rng(5)
+        batched = _train_step_loss(renderer, field, train_set, config, rng_bat)
+        assert float(batched.item()) == pytest.approx(float(reference.item()), rel=1e-12)
+        # both paths consumed exactly one view-index draw
+        assert rng_ref.integers(1000) == rng_bat.integers(1000)
+
+
+class TestMinibatchLoss:
+    def test_equals_average_of_per_view_losses(self):
+        config = _tiny_config()
+        renderer, train_set = _tiny_scene(config)
+        field = make_nerf_field(num_frequencies=2, hidden=8, depth=2,
+                                rng=np.random.default_rng(1))
+        targets = train_set[:3]
+        images, silhouettes = renderer.render_batch([t["angle"] for t in targets], field)
+        batched = _minibatch_view_loss(images, silhouettes, targets,
+                                       config.silhouette_weight)
+        per_view = []
+        for target in targets:
+            image, silhouette = renderer(target["angle"], field)
+            per_view.append(float(_view_loss(image, silhouette, target,
+                                             config.silhouette_weight).item()))
+        assert float(batched.item()) == pytest.approx(float(np.mean(per_view)), rel=1e-10)
+
+    def test_gradients_match_average_of_per_view_gradients(self):
+        config = _tiny_config()
+        renderer, train_set = _tiny_scene(config)
+        field = make_nerf_field(num_frequencies=2, hidden=8, depth=2,
+                                rng=np.random.default_rng(2))
+        targets = train_set[:3]
+        params = list(field.parameters())
+
+        images, silhouettes = renderer.render_batch([t["angle"] for t in targets], field)
+        _minibatch_view_loss(images, silhouettes, targets,
+                             config.silhouette_weight).backward()
+        batched_grads = [p.grad.copy() for p in params]
+        for p in params:
+            p.grad = None
+
+        total = None
+        for target in targets:
+            image, silhouette = renderer(target["angle"], field)
+            loss = _view_loss(image, silhouette, target, config.silhouette_weight)
+            total = loss if total is None else total + loss
+        (total / float(len(targets))).backward()
+        for p, batched in zip(params, batched_grads):
+            np.testing.assert_allclose(batched, p.grad, atol=1e-10, rtol=1e-10)
+
+    def test_invalid_batch_size_rejected(self):
+        config = _tiny_config(batched_train_views=0)
+        renderer, train_set = _tiny_scene(config)
+        field = make_nerf_field(num_frequencies=2, hidden=8, depth=2,
+                                rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="batched_train_views"):
+            _train_step_loss(renderer, field, train_set, config,
+                             np.random.default_rng(0))
+
+
+class TestEndToEndKnob:
+    def test_experiment_runs_with_view_minibatches(self):
+        from repro.experiments.api import run_experiment
+
+        result = run_experiment(
+            "fig3-nerf", fast=True,
+            overrides={"batched_train_views": 2, "image_size": 6,
+                       "num_samples_per_ray": 4, "num_train_views": 4,
+                       "num_test_views": 2, "hidden": 8, "depth": 2,
+                       "det_iterations": 4, "bayes_iterations": 4,
+                       "kl_anneal_iterations": 2, "num_posterior_samples": 2,
+                       "output_dir": None})
+        assert result.config["batched_train_views"] == 2
+        assert np.isfinite(result.metrics["bayesian_heldout_error"])

@@ -2,15 +2,16 @@
 (offline environments fall back to the legacy develop install path).
 
 Installs the ``repro`` console script (``repro list`` / ``repro run <id>`` /
-``repro run-all``) — the unified CLI over the experiment registry in
-``repro.experiments.api``.
+``repro run-all`` / ``repro lint`` / ``repro check-model``) — the unified CLI
+over the experiment registry in ``repro.experiments.api`` and the static
+analysis subsystem in ``repro.analysis``.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.3.0",
+    version="0.4.0",
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

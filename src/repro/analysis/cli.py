@@ -1,0 +1,101 @@
+"""Command implementations behind ``repro lint`` and ``repro check-model``.
+
+Kept separate from :mod:`repro.experiments.api.cli` (which only lazy-imports
+this module) so plain experiment runs never pay for the analysis imports.
+Exit-code contract shared by both commands: 0 clean, 1 findings, 2 usage
+error (unknown experiment id, no such path, ...).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .findings import ERROR
+from .linter import iter_python_files, lint_paths
+from .rules import all_rules
+from .validate import validate_target
+
+__all__ = ["run_lint", "run_check_model"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def run_lint(paths: Sequence[str], *, stream=None, errstream=None) -> int:
+    """``repro lint [paths...]``: run every registered rule over the paths."""
+    stream = stream if stream is not None else sys.stdout
+    errstream = errstream if errstream is not None else sys.stderr
+    paths = list(paths) or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=errstream)
+        return EXIT_USAGE
+    files = iter_python_files(paths)
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.format(), file=stream)
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = len(findings) - errors
+    print(f"repro lint: {len(files)} files, {errors} errors, {warnings} warnings "
+          f"({len(all_rules())} rules)", file=stream)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def run_check_model(experiment_ids: Sequence[str], *, check_all: bool = False,
+                    fast: bool = True, verbose: bool = False,
+                    stream=None, errstream=None) -> int:
+    """``repro check-model <id>...``: static model/guide validation.
+
+    Builds every :class:`~repro.analysis.validate.ValidationTarget` the
+    experiment registers and reports guide-coverage, shape and
+    vectorized-axis findings without running any training.
+    """
+    stream = stream if stream is not None else sys.stdout
+    errstream = errstream if errstream is not None else sys.stderr
+    from ..experiments.api.registry import all_experiments, get_experiment
+
+    if check_all:
+        specs = all_experiments()
+    elif not experiment_ids:
+        print("repro check-model: pass at least one experiment id or --all",
+              file=errstream)
+        return EXIT_USAGE
+    else:
+        specs = []
+        for experiment_id in experiment_ids:
+            try:
+                specs.append(get_experiment(experiment_id))
+            except KeyError as exc:
+                print(f"repro check-model: {exc.args[0]}", file=errstream)
+                return EXIT_USAGE
+
+    total_targets = 0
+    dirty = 0
+    errors = 0
+    for spec in specs:
+        targets = spec.make_validation_targets(fast=fast)
+        if not targets:
+            print(f"{spec.experiment_id}: no validation targets registered",
+                  file=stream)
+            continue
+        for target in targets:
+            total_targets += 1
+            report = validate_target(target)
+            label = f"{spec.experiment_id}/{target.name}"
+            if report.clean and not verbose:
+                print(f"{label}: ok ({len(report.model_sites)} model sites, "
+                      f"{len(report.guide_sites)} guide sites)", file=stream)
+                continue
+            if not report.clean:
+                dirty += 1
+                if not report.ok:
+                    errors += 1
+            print(f"{label}:", file=stream)
+            for line in report.format(verbose=verbose).splitlines():
+                print(f"  {line}", file=stream)
+    print(f"repro check-model: {total_targets} targets, "
+          f"{dirty} with findings ({errors} with errors)", file=stream)
+    return EXIT_FINDINGS if dirty else EXIT_CLEAN

@@ -1,0 +1,38 @@
+"""The lint finding record shared by every rule and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ERROR", "WARNING", "SEVERITIES", "Finding"]
+
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: a rule violation anchored to a source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    autofixable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; use one of {SEVERITIES}")
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: RULE [severity] message`` rendering."""
+        fix = " (autofixable)" if self.autofixable else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"[{self.severity}]{fix} {self.message}")

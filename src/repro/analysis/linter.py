@@ -1,0 +1,71 @@
+"""File discovery, parsing and rule execution for ``repro lint``."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .findings import ERROR, Finding
+from .rules import FileContext, LintRule, all_rules, parse_noqa_directives
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths"]
+
+_SKIPPED_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache", "node_modules"}
+
+PathLike = Union[str, Path]
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` file list."""
+    files = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py")
+                                if not (_SKIPPED_DIR_NAMES & set(p.parts)))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(candidate)
+    return files
+
+
+def lint_file(path: PathLike, rules: Optional[Iterable[LintRule]] = None) -> List[Finding]:
+    """Run every rule over one file, applying ``# repro: noqa`` suppression.
+
+    Unparseable files yield a single ``R000`` error finding (a file the
+    linter cannot read cannot be certified clean).
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rule_id="R000", severity=ERROR, path=path.as_posix(),
+                        line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                        message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    directives = parse_noqa_directives(source)
+    findings: List[Finding] = []
+    for rule in (all_rules() if rules is None else rules):
+        for finding in rule.check(ctx):
+            if not directives.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def lint_paths(paths: Sequence[PathLike],
+               rules: Optional[Iterable[LintRule]] = None) -> List[Finding]:
+    """Lint every python file under ``paths`` and return all findings sorted."""
+    rules = list(all_rules() if rules is None else rules)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return sorted(findings, key=lambda f: f.sort_key)

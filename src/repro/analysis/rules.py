@@ -1,0 +1,177 @@
+"""The rule-plugin framework of the ``repro lint`` engine.
+
+A rule is a subclass of :class:`LintRule` registered with
+:func:`register_rule`; it declares a stable id (``R`` + 3 digits), a default
+severity, whether its findings are mechanically autofixable (metadata for a
+future ``--fix`` mode; the engine itself never rewrites files) and a
+one-line description used by the CLI rule table.  ``check`` receives a parsed
+:class:`FileContext` and yields :class:`~repro.analysis.findings.Finding`
+objects; suppression (``# repro: noqa[...]``) is applied by the linter
+afterwards so rules never need to know about it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+from .findings import ERROR, Finding
+
+__all__ = ["FileContext", "LintRule", "register_rule", "all_rules", "get_rule",
+           "parse_noqa_directives", "NoqaDirectives"]
+
+_RULE_ID_RE = re.compile(r"^R\d{3}$")
+
+#: ``# repro: noqa`` or ``# repro: noqa[R001,R005]`` (whitespace-tolerant)
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[\s*([A-Z0-9,\s]+?)\s*\])?")
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+
+class LintRule:
+    """Base class for lint rules; subclass, set the class vars, implement ``check``."""
+
+    rule_id: ClassVar[str] = ""
+    severity: ClassVar[str] = ERROR
+    autofixable: ClassVar[bool] = False
+    description: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ helpers
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` carrying this rule's id/severity."""
+        return Finding(rule_id=self.rule_id, severity=self.severity,
+                       path=ctx.posix_path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1, message=message,
+                       autofixable=self.autofixable)
+
+
+_RULES: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the engine's registry."""
+    if not (isinstance(cls, type) and issubclass(cls, LintRule)):
+        raise TypeError("register_rule expects a LintRule subclass")
+    if not _RULE_ID_RE.match(cls.rule_id or ""):
+        raise ValueError(f"rule id {cls.rule_id!r} must match R<3 digits>")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"rule id {cls.rule_id!r} is already registered")
+    if not cls.description:
+        raise ValueError(f"rule {cls.rule_id} must carry a one-line description")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> LintRule:
+    try:
+        return _RULES[rule_id]()
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}; registered: {sorted(_RULES)}") from None
+
+
+# --------------------------------------------------------------------------
+# ``# repro: noqa`` suppression directives.
+# --------------------------------------------------------------------------
+@dataclass
+class NoqaDirectives:
+    """Parsed suppression directives of one file.
+
+    A directive on a line that also carries code suppresses the listed rules
+    (all rules when bare) for findings anchored to that line; a directive on
+    a comment-only line suppresses them for the whole file.
+    """
+
+    #: line number -> rule ids suppressed on that line (empty set = all rules)
+    lines: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file (empty set + file_all = all)
+    file_rules: Set[str] = field(default_factory=set)
+    file_all: bool = False
+
+    def suppresses(self, finding: Finding) -> bool:
+        if self.file_all or finding.rule_id in self.file_rules:
+            return True
+        if finding.line in self.lines:
+            rules = self.lines[finding.line]
+            return not rules or finding.rule_id in rules
+        return False
+
+
+def parse_noqa_directives(source: str) -> NoqaDirectives:
+    directives = NoqaDirectives()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in (match.group(1) or "").split(",") if part.strip()}
+        if line.lstrip().startswith("#"):  # comment-only line: file-wide scope
+            if rules:
+                directives.file_rules.update(rules)
+            else:
+                directives.file_all = True
+        else:
+            directives.lines.setdefault(lineno, set()).update(rules)
+    return directives
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers used by the built-in rules.
+# --------------------------------------------------------------------------
+def attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """The dotted-name chain of a Name/Attribute expression (else ``()``).
+
+    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``; any
+    non-trivial link (calls, subscripts) yields ``()``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def scope_statements(fn: ast.AST) -> Iterator[ast.AST]:
+    """All AST nodes lexically inside ``fn``'s own scope (nested defs excluded).
+
+    Yields in source order, so "first use" diagnostics point at the earlier
+    occurrence.
+    """
+    queue: "deque[ast.AST]" = deque(getattr(fn, "body", []))
+    while queue:
+        node = queue.popleft()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                             ast.ClassDef)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def iter_calls(nodes: Iterable[ast.AST]) -> Iterator[ast.Call]:
+    for node in nodes:
+        if isinstance(node, ast.Call):
+            yield node

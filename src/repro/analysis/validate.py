@@ -1,0 +1,226 @@
+"""Static model/guide validation via shape-only abstract interpretation.
+
+:func:`validate` traces a guide and then the model replayed against the guide
+trace under :func:`repro.ppl.poutine.shape_only` — every sample site records
+its name, distribution and shapes but draws **no** values (the global RNG
+state is saved and restored around the pass, so validation is invisible to
+any subsequent seeded run).  From the two traces it reports, before any
+training happens:
+
+* **uncovered-site** — a latent model site the guide does not cover.  Legal
+  (the runtime falls back to per-particle prior draws) but the single most
+  common source of silent posterior-quality bugs, so it is reported as a
+  warning.
+* **shape-mismatch** — a guide site whose value cannot broadcast against the
+  model distribution at the same site (the configuration that today only
+  explodes deep inside ``log_prob`` during the first ELBO step).
+* **shape-broadcast** — broadcastable but unequal shapes (the guide value is
+  silently expanded by the model density; usually a forgotten event dim).
+* **vectorize-collision** — an uncovered site whose distribution shape leads
+  with the particle count, the exact configuration
+  ``repro.ppl.poutine.runtime`` refuses at runtime for vectorized replays.
+* **orphaned-guide-site** — a guide latent the model never visits (its
+  density contributes to the ELBO but nothing constrains it).
+
+Experiments expose cheap untrained model/guide pairs as
+:class:`ValidationTarget` objects through their registry entry, which is what
+``repro check-model <experiment-id>`` iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import ppl
+from ..ppl import poutine
+
+__all__ = ["ValidationTarget", "ValidationFinding", "ModelGuideReport", "validate"]
+
+#: finding kinds that make :attr:`ModelGuideReport.ok` False
+_ERROR_KINDS = frozenset({"shape-mismatch", "vectorize-collision", "trace-failure"})
+
+
+@dataclass
+class ValidationTarget:
+    """One statically-checkable model/guide pair exposed by an experiment.
+
+    ``model``/``guide`` are the callables an ELBO would receive; ``args`` and
+    ``kwargs`` a *tiny* example input (shapes matter, values do not — the
+    validator never trains).  ``num_particles`` sets the particle count used
+    for the vectorize-collision check.
+    """
+
+    name: str
+    model: Callable
+    guide: Callable
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    num_particles: int = 2
+
+
+@dataclass(frozen=True)
+class ValidationFinding:
+    """One defect (or warning) of a model/guide pair."""
+
+    kind: str
+    site: Optional[str]
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.kind in _ERROR_KINDS
+
+    def format(self) -> str:
+        severity = "error" if self.is_error else "warning"
+        site = f" site={self.site!r}" if self.site else ""
+        return f"[{severity}] {self.kind}{site}: {self.message}"
+
+
+@dataclass
+class ModelGuideReport:
+    """The validator's result: per-site shape tables plus findings."""
+
+    model_sites: Dict[str, Dict[str, Any]]
+    guide_sites: Dict[str, Dict[str, Any]]
+    findings: List[ValidationFinding]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-class finding was recorded (warnings allowed)."""
+        return not any(f.is_error for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was found."""
+        return not self.findings
+
+    def format(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        if verbose:
+            lines.append(f"model sites ({len(self.model_sites)}):")
+            for name, info in self.model_sites.items():
+                role = "observed" if info["is_observed"] else "latent"
+                lines.append(f"  {name}: {info['distribution']} "
+                             f"batch={info['batch_shape']} event={info['event_shape']} "
+                             f"({role})")
+            lines.append(f"guide sites ({len(self.guide_sites)}):")
+            for name, info in self.guide_sites.items():
+                lines.append(f"  {name}: {info['distribution']} "
+                             f"value={info['value_shape']}")
+        for finding in self.findings:
+            lines.append(finding.format())
+        if not self.findings:
+            lines.append("ok: guide covers the model, all site shapes agree")
+        return "\n".join(lines)
+
+
+def _latent_names(sites: Dict[str, Dict[str, Any]]) -> List[str]:
+    return [name for name, info in sites.items() if not info["is_observed"]]
+
+
+def _fn_shape(info: Dict[str, Any]) -> Tuple[int, ...]:
+    return tuple(info["batch_shape"]) + tuple(info["event_shape"])
+
+
+def validate(model: Callable, guide: Callable, *args,
+             num_particles: int = 2, **kwargs) -> ModelGuideReport:
+    """Statically validate a model/guide pair without drawing a single sample.
+
+    Runs both callables once under the shape-only tracing mode (zero-valued
+    placeholder tensors of the correct shapes; no RNG consumption — the
+    global generator state is restored afterwards, and guide parameters
+    lazily instantiated during the pass are left in the store exactly as a
+    first real trace would leave them).
+    """
+    if num_particles < 1:
+        raise ValueError("num_particles must be >= 1")
+    rng = ppl.get_rng()
+    rng_state = rng.bit_generator.state
+    try:
+        with poutine.shape_only():
+            guide_trace = poutine.trace(guide).get_trace(*args, **kwargs)
+            model_trace = poutine.trace(
+                poutine.replay(model, trace=guide_trace)).get_trace(*args, **kwargs)
+    except Exception as exc:  # a pair that cannot even trace is itself a finding
+        return ModelGuideReport(model_sites={}, guide_sites={}, findings=[
+            ValidationFinding(kind="trace-failure", site=None,
+                              message=f"{type(exc).__name__}: {exc}")])
+    finally:
+        rng.bit_generator.state = rng_state
+
+    model_sites = model_trace.site_shapes()
+    guide_sites = guide_trace.site_shapes()
+    findings: List[ValidationFinding] = []
+
+    model_latents = _latent_names(model_sites)
+    guide_latents = _latent_names(guide_sites)
+
+    for name in model_latents:
+        info = model_sites[name]
+        if name in guide_sites:
+            continue
+        findings.append(ValidationFinding(
+            kind="uncovered-site", site=name,
+            message=(f"latent model site {name!r} ({info['distribution']}, "
+                     f"shape {_fn_shape(info)}) is not covered by the guide: "
+                     "inference will fall back to per-particle prior draws "
+                     "for it")))
+        fn_shape = _fn_shape(info)
+        if num_particles > 1 and fn_shape[:1] == (num_particles,):
+            findings.append(ValidationFinding(
+                kind="vectorize-collision", site=name,
+                message=(f"uncovered site {name!r} has distribution shape "
+                         f"{fn_shape}, which leads with the particle count "
+                         f"{num_particles}: the vectorized replay cannot tell "
+                         "a particle axis from this batch axis and will "
+                         "refuse at runtime — cover the site with the guide "
+                         "or run the looped estimator")))
+
+    for name in guide_latents:
+        if name not in model_sites:
+            findings.append(ValidationFinding(
+                kind="orphaned-guide-site", site=name,
+                message=(f"guide samples site {name!r} but the model never "
+                         "visits it; its density still enters the ELBO while "
+                         "nothing in the model constrains it")))
+            continue
+        model_info = model_sites[name]
+        guide_value_shape = tuple(guide_sites[name]["value_shape"])
+        model_fn_shape = _fn_shape(model_info)
+        if guide_value_shape == model_fn_shape:
+            continue
+        try:
+            broadcast = np.broadcast_shapes(guide_value_shape, model_fn_shape)
+        except ValueError:
+            findings.append(ValidationFinding(
+                kind="shape-mismatch", site=name,
+                message=(f"guide value shape {guide_value_shape} cannot "
+                         f"broadcast against the model distribution at "
+                         f"{name!r} ({model_info['distribution']}, shape "
+                         f"{model_fn_shape}); the first ELBO step would fail "
+                         "inside log_prob")))
+            continue
+        findings.append(ValidationFinding(
+            kind="shape-broadcast", site=name,
+            message=(f"guide value shape {guide_value_shape} only broadcasts "
+                     f"(to {tuple(broadcast)}) against the model shape "
+                     f"{model_fn_shape} at {name!r}; usually a missing event "
+                     "dimension — the density silently expands the value")))
+
+    for name, info in model_sites.items():
+        if info.get("shape_only_error"):
+            findings.append(ValidationFinding(
+                kind="vectorize-collision", site=name,
+                message=info["shape_only_error"]))
+
+    return ModelGuideReport(model_sites=dict(model_sites),
+                            guide_sites=dict(guide_sites), findings=findings)
+
+
+def validate_target(target: ValidationTarget) -> ModelGuideReport:
+    """Validate one :class:`ValidationTarget` (the ``check-model`` unit of work)."""
+    return validate(target.model, target.guide, *target.args,
+                    num_particles=target.num_particles, **target.kwargs)

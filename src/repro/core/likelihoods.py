@@ -210,7 +210,8 @@ class HomoskedasticGaussian(Gaussian):
 
     def _current_scale(self) -> Tensor:
         if self.scale_is_latent:
-            return ppl.sample(f"{self.name}.scale", self.scale)
+            # name-scoped on purpose: several likelihoods may coexist in one model
+            return ppl.sample(f"{self.name}.scale", self.scale)  # repro: noqa[R002]
         return _as_tensor(self.scale)
 
     def predictive_distribution(self, predictions: Tensor) -> dist.Distribution:

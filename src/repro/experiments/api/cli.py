@@ -6,6 +6,8 @@ Usage::
     repro run fig1-regression --fast --seed 3   # run one artefact
     repro run fig4-vcl --fast --set epochs_per_task=2 --set suite=mnist
     repro run-all --fast                        # every artefact E1-E6
+    repro lint src tests                        # static analysis (rules R001-R005)
+    repro check-model fig1-regression --fast    # static model/guide validation
 
 ``repro run`` builds the experiment's config (``--fast`` selects the reduced
 smoke-test configuration), applies typed ``--set key=value`` overrides,
@@ -63,6 +65,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="typed config override applied to every experiment "
                               "(repeatable); a key unknown to an experiment's "
                               "config makes that experiment fail")
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: RNG discipline, site names, hot-path "
+                     "materialization, seeding, vectorized contexts (R001-R005)")
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="path",
+                      help="files or directories to lint (default: src)")
+
+    check_model = subparsers.add_parser(
+        "check-model", help="statically validate an experiment's model/guide "
+                            "pairs (coverage, shapes, vectorized axes) without "
+                            "training")
+    check_model.add_argument("experiment_ids", nargs="*", metavar="id",
+                             help="experiment ids (see `repro list`)")
+    check_model.add_argument("--all", action="store_true", dest="check_all",
+                             help="check every registered experiment")
+    check_model.add_argument("--fast", action="store_true",
+                             help="build targets from the reduced smoke-test config")
+    check_model.add_argument("--verbose", action="store_true",
+                             help="print the per-site shape tables")
 
     return parser
 
@@ -159,6 +180,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args, stream)
     if args.command == "run-all":
         return _cmd_run_all(args, stream)
+    if args.command == "lint":
+        from ...analysis.cli import run_lint  # lazy: keep plain runs import-light
+
+        return run_lint(args.paths, stream=stream)
+    if args.command == "check-model":
+        from ...analysis.cli import run_check_model
+
+        return run_check_model(args.experiment_ids, check_all=args.check_all,
+                               fast=args.fast, verbose=args.verbose, stream=stream)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -50,6 +50,18 @@ class ExperimentSpec:
     #: overrides applied to every config this spec builds (e.g. ``fig4-vcl``
     #: defaults to ``suite="both"`` so the registry run covers the full figure)
     base_overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: optional ``config -> [repro.analysis.ValidationTarget]`` builder exposing
+    #: cheap untrained model/guide pairs to ``repro check-model``
+    validation_targets: Optional[Callable[[BaseExperimentConfig], List[Any]]] = None
+
+    # ------------------------------------------------------------------ checks
+    def make_validation_targets(self, fast: bool = True,
+                                overrides: Optional[Mapping[str, Any]] = None) -> List[Any]:
+        """Build this experiment's static-validation targets (empty if none)."""
+        if self.validation_targets is None:
+            return []
+        config = self.make_config(fast=fast, overrides=overrides)
+        return list(self.validation_targets(config))
 
     # ------------------------------------------------------------------ configs
     def make_config(self, fast: bool = False,
@@ -84,7 +96,8 @@ class ExperimentSpec:
 
 def register(experiment_id: str, *, config_cls: Type[BaseExperimentConfig], number: str,
              artefact: str, title: str,
-             base_overrides: Optional[Mapping[str, Any]] = None) -> Callable:
+             base_overrides: Optional[Mapping[str, Any]] = None,
+             validation_targets: Optional[Callable] = None) -> Callable:
     """Class/function decorator adding a runner to the registry under ``experiment_id``."""
 
     def decorator(runner: Callable) -> Callable:
@@ -95,7 +108,8 @@ def register(experiment_id: str, *, config_cls: Type[BaseExperimentConfig], numb
                             "BaseExperimentConfig")
         spec = ExperimentSpec(experiment_id=experiment_id, config_cls=config_cls,
                               runner=runner, number=number, artefact=artefact, title=title,
-                              base_overrides=dict(base_overrides or {}))
+                              base_overrides=dict(base_overrides or {}),
+                              validation_targets=validation_targets)
         _REGISTRY[experiment_id] = spec
         runner.spec = spec
         return runner

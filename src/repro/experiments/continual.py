@@ -300,9 +300,31 @@ def _figure4(mnist_config: Optional[ContinualConfig] = None,
     }
 
 
+def _validation_targets(config: ContinualConfig):
+    """The first-task VCL model/guide pair for ``repro check-model``."""
+    from ..analysis import ValidationTarget
+
+    if config.suite not in ("mnist", "cifar"):  # "both" has no single network
+        config = dataclasses.replace(config, suite="mnist")
+    rng = np.random.default_rng(config.seed)
+    net = _make_net(config, rng)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    guide = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(net))
+    bnn = tyxe.VariationalBNN(net, prior, tyxe.likelihoods.Categorical(dataset_size=4),
+                              guide)
+    if config.suite == "mnist":
+        x = np.zeros((4, config.image_size ** 2))
+    else:
+        x = np.zeros((4, 3, config.image_size, config.image_size))
+    return [ValidationTarget("vcl-task0", bnn.model, bnn.guide,
+                             args=(nn.Tensor(x), nn.Tensor(np.zeros(4))))]
+
+
 @register("fig4-vcl", config_cls=ContinualConfig, number="E6", artefact="Figure 4",
           title="Variational continual learning vs. sequential maximum likelihood",
-          base_overrides={"suite": "both"})
+          base_overrides={"suite": "both"},
+          validation_targets=_validation_targets)
 def _figure4_experiment(config: ContinualConfig):
     """Both methods on the configured suite(s).
 

@@ -202,8 +202,29 @@ def _gnn_comparison(config: GNNConfig,
     return {m: _aggregate(m, runs) for m, runs in results.items()}
 
 
+def _validation_targets(config: GNNConfig):
+    """An untrained GCN model/guide pair over a tiny graph for ``repro check-model``."""
+    from ..analysis import ValidationTarget
+
+    rng = np.random.default_rng(config.seed)
+    data = make_citation_graph(num_nodes=24, num_classes=config.num_classes,
+                               feature_dim=config.feature_dim, train_per_class=2,
+                               val_per_class=2, seed=config.seed)
+    gnn = two_layer_gcn(data.num_features, config.hidden, data.num_classes, rng=rng)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    likelihood = tyxe.likelihoods.Categorical(dataset_size=data.graph.num_nodes)
+    guide = partial(tyxe.guides.AutoNormal,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(gnn),
+                    init_scale=config.init_scale, max_guide_scale=config.max_guide_scale)
+    bgnn = tyxe.VariationalBNN(gnn, prior, likelihood, guide)
+    features = nn.Tensor(data.features)
+    return [ValidationTarget("mean-field", bgnn.model, bgnn.guide,
+                             args=((data.graph, features), nn.Tensor(data.labels)))]
+
+
 @register("table2-gnn", config_cls=GNNConfig, number="E4", artefact="Table 2",
-          title="Bayesian GNN node classification: ML vs. MAP vs. mean-field VI")
+          title="Bayesian GNN node classification: ML vs. MAP vs. mean-field VI",
+          validation_targets=_validation_targets)
 def _table2_experiment(config: GNNConfig):
     results = _gnn_comparison(config)
     metrics = {f"{row['method']}_{key}": value

@@ -286,9 +286,41 @@ def _inference_comparison(config: ImageClassificationConfig,
     return results
 
 
+def _validation_targets(config: ImageClassificationConfig):
+    """Untrained model/guide pairs for ``repro check-model``: MAP and mean-field."""
+    from ..analysis import ValidationTarget
+
+    images = nn.Tensor(np.zeros((2, config.channels, config.image_size, config.image_size)))
+    labels = nn.Tensor(np.zeros(2))
+    prior_kwargs = dict(expose_all=True, hide_module_types=[nn.BatchNorm2d])
+    targets = []
+
+    map_net = _make_net(config)
+    map_guide = partial(tyxe.guides.AutoDelta,
+                        init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(map_net))
+    map_bnn = tyxe.VariationalBNN(
+        map_net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), **prior_kwargs),
+        tyxe.likelihoods.Categorical(2), map_guide)
+    targets.append(ValidationTarget("map", map_bnn.model, map_bnn.guide,
+                                    args=(images, labels)))
+
+    mf_net = _make_net(config)
+    mf_guide = partial(tyxe.guides.AutoNormal,
+                       init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(mf_net),
+                       init_scale=config.init_scale,
+                       max_guide_scale=config.max_guide_scale)
+    mf_bnn = tyxe.VariationalBNN(
+        mf_net, tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), **prior_kwargs),
+        tyxe.likelihoods.Categorical(2), mf_guide)
+    targets.append(ValidationTarget("mean-field", mf_bnn.model, mf_bnn.guide,
+                                    args=(images, labels)))
+    return targets
+
+
 @register("table1-resnet", config_cls=ImageClassificationConfig, number="E2",
           artefact="Table 1",
-          title="Bayesian ResNet inference comparison: NLL / accuracy / ECE / OOD AUROC")
+          title="Bayesian ResNet inference comparison: NLL / accuracy / ECE / OOD AUROC",
+          validation_targets=_validation_targets)
 def _table1_experiment(config: ImageClassificationConfig):
     results = _inference_comparison(config)
     metrics = {f"{row['method']}_{key}": value
@@ -300,7 +332,8 @@ def _table1_experiment(config: ImageClassificationConfig):
 @register("fig2-calibration", config_cls=ImageClassificationConfig, number="E3",
           artefact="Figure 2",
           title="Calibration curves and test/OOD predictive-entropy CDFs",
-          base_overrides={"methods": "ml,mf"})
+          base_overrides={"methods": "ml,mf"},
+          validation_targets=_validation_targets)
 def _figure2_experiment(config: ImageClassificationConfig):
     data = _make_data(config)
     results = _inference_comparison(config, data=data)

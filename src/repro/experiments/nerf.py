@@ -270,8 +270,26 @@ def _nerf_experiment_impl(config: NeRFConfig) -> NeRFResult:
     )
 
 
+def _validation_targets(config: NeRFConfig):
+    """The untrained Bayesian field for ``repro check-model`` (no rendering)."""
+    from ..analysis import ValidationTarget
+
+    rng = np.random.default_rng(config.seed)
+    field_net = make_nerf_field(num_frequencies=config.num_frequencies, hidden=config.hidden,
+                                depth=config.depth, rng=rng)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    guide = partial(tyxe.guides.AutoNormal,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(field_net),
+                    init_scale=config.init_scale)
+    nerf_bnn = tyxe.PytorchBNN(field_net, prior, guide)
+    points = nn.Tensor(np.zeros((4, 3)))
+    return [ValidationTarget("field", nerf_bnn.net_model, nerf_bnn.net_guide,
+                             args=(points,))]
+
+
 @register("fig3-nerf", config_cls=NeRFConfig, number="E5", artefact="Figure 3",
-          title="Deterministic vs. Bayesian NeRF: held-out-view error and uncertainty")
+          title="Deterministic vs. Bayesian NeRF: held-out-view error and uncertainty",
+          validation_targets=_validation_targets)
 def _figure3_experiment(config: NeRFConfig):
     result = _nerf_experiment_impl(config)
     return result.summary(), result

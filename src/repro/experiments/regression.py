@@ -185,8 +185,25 @@ def _figure1(config: RegressionConfig) -> Dict[str, RegressionResult]:
     return {panel: runners[panel](config) for panel in config.selected_panels()}
 
 
+def _validation_targets(config: RegressionConfig):
+    """Untrained model/guide pairs for ``repro check-model`` (no training data)."""
+    from ..analysis import ValidationTarget
+
+    rng = np.random.default_rng(config.seed)
+    net = _build_net(config, rng)
+    likelihood = tyxe.likelihoods.HomoskedasticGaussian(8, scale=config.noise_scale)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
+    guide_factory = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
+                            init_loc_fn=tyxe.guides.init_to_normal("radford"))
+    bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+    x = nn.Tensor(np.zeros((8, 1)))
+    y = nn.Tensor(np.zeros((8, 1)))
+    return [ValidationTarget("mean-field-vi", bnn.model, bnn.guide, args=(x, y))]
+
+
 @register("fig1-regression", config_cls=RegressionConfig, number="E1", artefact="Figure 1",
-          title="Bayesian nonlinear regression: mean-field VI (x2) vs. HMC")
+          title="Bayesian nonlinear regression: mean-field VI (x2) vs. HMC",
+          validation_targets=_validation_targets)
 def _figure1_experiment(config: RegressionConfig):
     results = _figure1(config)
     metrics = {f"{method}_{key}": value

@@ -16,6 +16,11 @@ from .tensor import Tensor
 __all__ = ["Dataset", "TensorDataset", "Subset", "DataLoader", "random_split"]
 
 
+def _default_rng() -> np.random.Generator:
+    from ..ppl.rng import get_rng  # lazy: ppl imports nn at package load
+    return get_rng()
+
+
 class Dataset:
     """Abstract map-style dataset."""
 
@@ -61,7 +66,7 @@ def random_split(dataset: Dataset, lengths: Sequence[int],
     """Randomly partition ``dataset`` into subsets of the given lengths."""
     if sum(lengths) != len(dataset):
         raise ValueError("sum of lengths does not equal the dataset size")
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else _default_rng()
     perm = gen.permutation(len(dataset))
     subsets, offset = [], 0
     for n in lengths:
@@ -83,7 +88,8 @@ class DataLoader:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # resolved per-iteration so a later set_rng_seed governs shuffling
+        self.rng = rng
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -93,7 +99,8 @@ class DataLoader:
 
     def _batch_indices(self) -> Iterator[np.ndarray]:
         n = len(self.dataset)
-        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        rng = self.rng if self.rng is not None else _default_rng()
+        order = rng.permutation(n) if self.shuffle else np.arange(n)
         for start in range(0, n, self.batch_size):
             batch = order[start:start + self.batch_size]
             if self.drop_last and len(batch) < self.batch_size:

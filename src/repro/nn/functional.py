@@ -467,8 +467,10 @@ def _dropout_default(x: Tensor, p: float, training: bool,
                      rng: Optional[np.random.Generator] = None) -> Tensor:
     if not training or p == 0.0:
         return x
-    gen = rng if rng is not None else np.random.default_rng()
-    mask = (gen.random(x.shape) >= p) / (1.0 - p)
+    if rng is None:
+        from ..ppl.rng import get_rng  # lazy: ppl imports this module at load
+        rng = get_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)
 
 

@@ -59,7 +59,10 @@ def fan_in_scale(shape: Tuple[int, ...], method: str = "radford") -> float:
 
 
 def _rng(rng):
-    return rng if rng is not None else np.random.default_rng()
+    if rng is not None:
+        return rng
+    from ..ppl.rng import get_rng  # lazy: ppl imports nn at package load
+    return get_rng()
 
 
 def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0, rng=None) -> Tensor:

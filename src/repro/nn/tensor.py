@@ -787,17 +787,22 @@ def eye(n: int, requires_grad: bool = False) -> Tensor:
     return Tensor(np.eye(n), requires_grad=requires_grad)
 
 
+def _default_rng() -> np.random.Generator:
+    from ..ppl.rng import get_rng  # lazy: ppl imports nn at package load
+    return get_rng()
+
+
 def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else _default_rng()
     return Tensor(gen.standard_normal(shape), requires_grad=requires_grad)
 
 
 def rand(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else _default_rng()
     return Tensor(gen.random(shape), requires_grad=requires_grad)
 
 

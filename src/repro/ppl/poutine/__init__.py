@@ -3,7 +3,8 @@
 from .handlers import (BlockMessenger, ConditionMessenger, MaskMessenger,
                        ReplayMessenger, ScaleMessenger, SeedMessenger, block,
                        condition, mask, replay, scale, seed)
-from .runtime import Messenger, am_i_wrapped, apply_stack, get_stack, new_message
+from .runtime import (Messenger, am_i_wrapped, apply_stack, get_stack,
+                      new_message, shape_only, shape_only_active)
 from .trace import Trace, TraceHandler, TraceMessenger, stack_traces, trace
 
 __all__ = [
@@ -12,6 +13,8 @@ __all__ = [
     "am_i_wrapped",
     "get_stack",
     "new_message",
+    "shape_only",
+    "shape_only_active",
     "Trace",
     "TraceMessenger",
     "TraceHandler",

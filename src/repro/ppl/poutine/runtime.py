@@ -10,11 +10,16 @@ the site from handlers further out (this is how ``block`` works).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import contextlib
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import numpy as np
 
 from ...nn.functional import sample_sizes as _sample_sizes
+from ...nn.tensor import Tensor
 
-__all__ = ["Message", "Messenger", "apply_stack", "am_i_wrapped", "get_stack"]
+__all__ = ["Message", "Messenger", "apply_stack", "am_i_wrapped", "get_stack",
+           "shape_only", "shape_only_active"]
 
 Message = Dict[str, Any]
 
@@ -80,6 +85,57 @@ class Messenger:
         """Hook run after the site value exists (outermost first on the way back)."""
 
 
+# --------------------------------------------------------------------------
+# Shape-only (abstract) execution mode.
+#
+# Under ``with shape_only():`` every latent ``sample`` site receives a
+# zero-valued tensor of exactly the shape a real draw would have
+# (``sample_shape + batch_shape + event_shape``) instead of consuming the RNG
+# stream.  Traces recorded in this mode therefore carry every site's name,
+# distribution and shapes — the raw material of the static model/guide
+# validator in :mod:`repro.analysis.validate` — at the cost of one cheap
+# forward pass and zero random draws.  ``param`` sites resolve normally (the
+# parameter store is deterministic).  The vectorized-axis collision that
+# :func:`_vectorized_sample_shape` refuses at runtime is recorded on the
+# message as ``shape_only_error`` instead of raised, so the validator can
+# report every defect of a model in one pass.
+# --------------------------------------------------------------------------
+_SHAPE_ONLY = False
+
+
+def shape_only_active() -> bool:
+    """True while the shape-only tracing mode is entered."""
+    return _SHAPE_ONLY
+
+
+@contextlib.contextmanager
+def shape_only() -> Iterator[None]:
+    """Trace models abstractly: sites record shapes but draw no values."""
+    global _SHAPE_ONLY
+    previous = _SHAPE_ONLY
+    _SHAPE_ONLY = True
+    try:
+        yield
+    finally:
+        _SHAPE_ONLY = previous
+
+
+def _abstract_sample_value(msg: Message) -> Tensor:
+    """A zero tensor of the exact shape a real draw at this site would have."""
+    fn = msg["fn"]
+    try:
+        sample_shape = _vectorized_sample_shape(msg)
+    except ValueError as exc:  # vectorized-axis collision: record, don't raise
+        msg["shape_only_error"] = str(exc)
+        sample_shape = ()
+    if not sample_shape and msg["args"]:
+        sample_shape = tuple(msg["args"][0])
+    shape = (tuple(sample_shape) + tuple(getattr(fn, "batch_shape", ()))
+             + tuple(getattr(fn, "event_shape", ())))
+    msg["shape_only"] = True
+    return Tensor(np.zeros(shape))
+
+
 def _vectorized_sample_shape(msg: Message) -> tuple:
     """Leading sample shape a latent draw must carry under vectorized replay.
 
@@ -119,7 +175,9 @@ def _vectorized_sample_shape(msg: Message) -> tuple:
             "parameters depend on a particle-stacked latent, or when a batch "
             "dimension coincidentally equals num_particles) — cover the site "
             "with the guide or use the looped estimator "
-            "(vectorize_particles=False / vectorized=False)")
+            "(vectorize_particles=False / vectorized=False); "
+            "`repro check-model` reports this configuration statically, "
+            "before any training run")
     return sizes
 
 
@@ -128,7 +186,9 @@ def default_process_message(msg: Message) -> None:
     if msg["done"]:
         return
     if msg["value"] is None:
-        if msg["type"] == "sample":
+        if msg["type"] == "sample" and _SHAPE_ONLY:
+            msg["value"] = _abstract_sample_value(msg)
+        elif msg["type"] == "sample":
             fn = msg["fn"]
             sample_shape = _vectorized_sample_shape(msg)
             if sample_shape:

@@ -94,6 +94,32 @@ class Trace:
             total = site["log_prob_sum"] if total is None else total + site["log_prob_sum"]
         return total if total is not None else Tensor(0.0)
 
+    def site_shapes(self) -> "OrderedDict[str, Dict[str, Any]]":
+        """Shape summary of every sample site (the static validator's view).
+
+        Maps site name to ``{"distribution", "batch_shape", "event_shape",
+        "value_shape", "is_observed", "shape_only_error"}``.  Works on both
+        ordinary traces and ones recorded under the shape-only mode of
+        :func:`repro.ppl.poutine.runtime.shape_only` (where values are
+        zero-filled placeholders of the correct shape).
+        """
+        summary: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        for name, site in self.nodes.items():
+            if site.get("type") != "sample":
+                continue
+            fn = site.get("fn")
+            value = site.get("value")
+            summary[name] = {
+                "distribution": type(fn).__name__ if fn is not None else None,
+                "batch_shape": tuple(getattr(fn, "batch_shape", ())),
+                "event_shape": tuple(getattr(fn, "event_shape", ())),
+                "value_shape": tuple(np.shape(value.data if isinstance(value, Tensor)
+                                              else value)),
+                "is_observed": bool(site.get("is_observed")),
+                "shape_only_error": site.get("shape_only_error"),
+            }
+        return summary
+
     def copy(self) -> "Trace":
         new = Trace()
         for name, site in self.nodes.items():

@@ -1,0 +1,397 @@
+"""Good/bad fixture coverage for every lint rule (R001-R005) and noqa handling."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ERROR, WARNING, all_rules, get_rule, lint_file, lint_paths
+
+
+def _write(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def _rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004", "R005"]
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("R999")
+
+    def test_rules_carry_metadata(self):
+        for rule in all_rules():
+            assert rule.description
+            assert rule.severity in (ERROR, WARNING)
+
+    def test_syntax_error_reports_r000(self, tmp_path):
+        path = _write(tmp_path, "def broken(:\n")
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R000"]
+        assert findings[0].severity == ERROR
+
+    def test_findings_sorted_and_formatted(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def late():
+                return np.random.normal(0.0, 1.0)
+
+            def early():
+                return np.random.rand(3)
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R001", "R001"]
+        assert findings[0].line < findings[1].line
+        formatted = findings[0].format()
+        assert "R001" in formatted and str(path.as_posix()) in formatted
+
+
+class TestR001RngDiscipline:
+    def test_bare_default_rng_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng()
+        """)
+        assert _rule_ids(lint_file(path)) == ["R001"]
+
+    def test_legacy_sampler_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            x = np.random.randn(3)
+        """)
+        assert _rule_ids(lint_file(path)) == ["R001"]
+
+    def test_seeded_default_rng_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng(0)
+            gen2 = np.random.default_rng(seed=42)
+        """)
+        assert lint_file(path) == []
+
+    def test_generator_methods_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng(7)
+            x = gen.standard_normal(3)
+        """)
+        assert lint_file(path) == []
+
+    def test_rng_module_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            _RNG = np.random.default_rng()
+        """, name="rng.py")
+        assert lint_file(path) == []
+
+    def test_finding_is_autofixable(self, tmp_path):
+        path = _write(tmp_path, "import numpy as np\ng = np.random.default_rng()\n")
+        (finding,) = lint_file(path)
+        assert finding.autofixable
+
+
+class TestR002SampleSiteNames:
+    def test_duplicate_literal_name_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(d):
+                ppl.sample("z", d)
+                ppl.sample("z", d)
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R002"]
+        assert "'z'" in findings[0].message
+
+    def test_first_use_precedes_duplicate(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(d):
+                ppl.sample("z", d)
+                ppl.sample("z", d)
+        """)
+        (finding,) = lint_file(path)
+        assert "first use at line 5" in finding.message
+        assert finding.line == 6
+
+    def test_fstring_name_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(d, i):
+                ppl.sample(f"z_{i}", d)
+        """)
+        assert _rule_ids(lint_file(path)) == ["R002"]
+
+    def test_format_and_concat_names_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(d, i):
+                ppl.param("w_{}".format(i), d)
+                ppl.sample("z_" + str(i), d)
+        """)
+        assert _rule_ids(lint_file(path)) == ["R002", "R002"]
+
+    def test_variable_names_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(dists):
+                for name, d in dists.items():
+                    ppl.sample(name, d)
+        """)
+        assert lint_file(path) == []
+
+    def test_same_name_in_different_functions_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def model(d):
+                ppl.sample("z", d)
+
+            def guide(d):
+                ppl.sample("z", d)
+        """)
+        assert lint_file(path) == []
+
+    def test_nested_function_scopes_are_separate(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+
+            def outer(d):
+                ppl.sample("z", d)
+
+                def inner():
+                    ppl.sample("z", d)
+        """)
+        assert lint_file(path) == []
+
+
+class TestR003EagerMaterialization:
+    def _hot(self, tmp_path, source):
+        return _write(tmp_path, source, name="repro/nn/hot.py")
+
+    def test_data_on_call_result_flagged_in_hot_path(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                return net(x).data
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R003"]
+        assert findings[0].severity == WARNING
+
+    def test_asarray_on_call_result_flagged(self, tmp_path):
+        path = self._hot(tmp_path, """
+            import numpy as np
+
+            def f(net, x):
+                return np.asarray(net(x))
+        """)
+        assert _rule_ids(lint_file(path)) == ["R003"]
+
+    def test_data_on_bound_name_allowed(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                out = net(x)
+                return out.data
+        """)
+        assert lint_file(path) == []
+
+    def test_cold_path_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            def f(net, x):
+                return net(x).data
+        """, name="experiments/report.py")
+        assert lint_file(path) == []
+
+
+class TestR004SeedBeforeSampling:
+    def test_runner_without_seed_all_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.experiments.api import register
+
+            @register("exp", config_cls=object, number="E9", artefact="X", title="t")
+            def runner(config):
+                return {}, None
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R004"]
+        assert "seed_all" in findings[0].message
+
+    def test_direct_seed_all_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.experiments.api import register
+
+            @register("exp", config_cls=object, number="E9", artefact="X", title="t")
+            def runner(config):
+                config.seed_all()
+                return {}, None
+        """)
+        assert lint_file(path) == []
+
+    def test_seed_all_via_helper_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.experiments.api import register
+
+            def _impl(config):
+                config.seed_all()
+                return {}, None
+
+            @register("exp", config_cls=object, number="E9", artefact="X", title="t")
+            def runner(config):
+                return _impl(config)
+        """)
+        assert lint_file(path) == []
+
+    def test_seed_all_via_partial_dispatch_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            from functools import partial
+            from repro.experiments.api import register
+
+            def _impl(config, flag):
+                config.seed_all()
+                return {}, None
+
+            @register("exp", config_cls=object, number="E9", artefact="X", title="t")
+            def runner(config):
+                runners = {"a": partial(_impl, flag=True)}
+                return runners["a"](config)
+        """)
+        assert lint_file(path) == []
+
+    def test_unregistered_function_not_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def helper(config):
+                return {}, None
+        """)
+        assert lint_file(path) == []
+
+
+class TestR005SizedVectorizedContext:
+    def test_sizeless_context_with_sample_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+            from repro import nn
+
+            def forward(d):
+                with nn.vectorized_samples(1):
+                    return ppl.sample("z", d)
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R005"]
+        assert "sizes" in findings[0].message
+
+    def test_sized_context_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+            from repro import nn
+
+            def forward(d, k):
+                with nn.vectorized_samples(1, sizes=(k,)):
+                    return ppl.sample("z", d)
+        """)
+        assert lint_file(path) == []
+
+    def test_sizeless_context_without_sampling_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro import nn
+
+            def forward(net, x):
+                with nn.vectorized_samples(1):
+                    return net(x)
+        """)
+        assert lint_file(path) == []
+
+    def test_sample_in_nested_def_not_counted(self, tmp_path):
+        path = _write(tmp_path, """
+            import repro.ppl as ppl
+            from repro import nn
+
+            def forward(net, x, d):
+                with nn.vectorized_samples(1):
+                    def later():
+                        return ppl.sample("z", d)
+                    return net(x)
+        """)
+        assert lint_file(path) == []
+
+
+class TestNoqa:
+    def test_line_level_noqa_suppresses_named_rule(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng()  # repro: noqa[R001]
+        """)
+        assert lint_file(path) == []
+
+    def test_line_level_noqa_wrong_rule_keeps_finding(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng()  # repro: noqa[R002]
+        """)
+        assert _rule_ids(lint_file(path)) == ["R001"]
+
+    def test_bare_line_noqa_suppresses_everything_on_line(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+            gen = np.random.default_rng()  # repro: noqa
+        """)
+        assert lint_file(path) == []
+
+    def test_file_level_noqa_on_comment_line(self, tmp_path):
+        path = _write(tmp_path, """
+            # repro: noqa[R001]
+            import numpy as np
+            gen = np.random.default_rng()
+            x = np.random.randn(3)
+        """)
+        assert lint_file(path) == []
+
+    def test_file_level_noqa_only_covers_listed_rules(self, tmp_path):
+        path = _write(tmp_path, """
+            # repro: noqa[R001]
+            import repro.ppl as ppl
+
+            def model(d, i):
+                ppl.sample(f"z_{i}", d)
+        """)
+        assert _rule_ids(lint_file(path)) == ["R002"]
+
+    def test_multiple_rules_in_one_directive(self, tmp_path):
+        path = _write(tmp_path, """
+            # repro: noqa[R001, R002]
+            import numpy as np
+            import repro.ppl as ppl
+
+            gen = np.random.default_rng()
+
+            def model(d, i):
+                ppl.sample(f"z_{i}", d)
+        """)
+        assert lint_file(path) == []
+
+
+class TestLintPaths:
+    def test_directory_discovery_skips_pycache(self, tmp_path):
+        _write(tmp_path, "import numpy as np\ng = np.random.default_rng()\n",
+               name="pkg/mod.py")
+        _write(tmp_path, "import numpy as np\ng = np.random.default_rng()\n",
+               name="pkg/__pycache__/mod.py")
+        findings = lint_paths([tmp_path])
+        assert len(findings) == 1
+        assert "__pycache__" not in findings[0].path
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        path = _write(tmp_path, "import numpy as np\ng = np.random.default_rng()\n")
+        findings = lint_paths([path, path, tmp_path])
+        assert len(findings) == 1

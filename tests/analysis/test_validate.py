@@ -1,0 +1,191 @@
+"""The static model/guide validator: shape-only tracing and defect reporting."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.ppl as ppl
+import repro.ppl.distributions as dist
+from repro.analysis import ModelGuideReport, ValidationTarget, validate
+from repro.analysis.validate import validate_target
+from repro.ppl import poutine
+
+
+def _model():
+    z = ppl.sample("z", dist.Normal(np.zeros(3), np.ones(3)).to_event(1))
+    w = ppl.sample("w", dist.Normal(0.0, 1.0))
+    ppl.sample("obs", dist.Normal(z.sum() + w, 1.0), obs=np.array(0.5))
+
+
+def _guide_full():
+    loc = ppl.param("z_loc", np.zeros(3))
+    ppl.sample("z", dist.Delta(loc, event_dim=1))
+    ppl.sample("w", dist.Delta(ppl.param("w_loc", np.array(0.0))))
+
+
+def _guide_uncovered():
+    loc = ppl.param("z_loc", np.zeros(3))
+    ppl.sample("z", dist.Delta(loc, event_dim=1))
+
+
+def _guide_bad_shape():
+    loc = ppl.param("z_loc_bad", np.zeros(4))
+    ppl.sample("z", dist.Delta(loc, event_dim=1))
+    ppl.sample("w", dist.Delta(ppl.param("w_loc", np.array(0.0))))
+
+
+class TestShapeOnlyMode:
+    def test_values_are_zero_placeholders_of_correct_shape(self):
+        with poutine.shape_only():
+            tr = poutine.trace(_model).get_trace()
+        assert tr["z"]["value"].shape == (3,)
+        assert tr["w"]["value"].shape == ()
+        np.testing.assert_array_equal(tr["z"]["value"].data, np.zeros(3))
+        assert tr["z"]["shape_only"] is True
+
+    def test_observed_values_kept(self):
+        with poutine.shape_only():
+            tr = poutine.trace(_model).get_trace()
+        assert tr["obs"]["is_observed"]
+        assert float(tr["obs"]["value"].data) == 0.5
+
+    def test_no_rng_consumption(self):
+        ppl.set_rng_seed(7)
+        expected = ppl.get_rng().standard_normal(4)
+        ppl.set_rng_seed(7)
+        with poutine.shape_only():
+            poutine.trace(_model).get_trace()
+        np.testing.assert_array_equal(ppl.get_rng().standard_normal(4), expected)
+
+    def test_mode_restored_after_exit(self):
+        assert not poutine.shape_only_active()
+        with poutine.shape_only():
+            assert poutine.shape_only_active()
+        assert not poutine.shape_only_active()
+
+    def test_site_shapes_summary(self):
+        with poutine.shape_only():
+            tr = poutine.trace(_model).get_trace()
+        shapes = tr.site_shapes()
+        assert list(shapes) == ["z", "w", "obs"]
+        assert shapes["z"]["event_shape"] == (3,)
+        assert shapes["z"]["value_shape"] == (3,)
+        assert not shapes["z"]["is_observed"]
+        assert shapes["obs"]["is_observed"]
+
+
+class TestValidate:
+    def test_clean_pair(self):
+        report = validate(_model, _guide_full)
+        assert isinstance(report, ModelGuideReport)
+        assert report.ok and report.clean
+        assert "ok" in report.format()
+
+    def test_uncovered_site_reported(self):
+        report = validate(_model, _guide_uncovered)
+        kinds = {f.kind for f in report.findings}
+        assert kinds == {"uncovered-site"}
+        (finding,) = report.findings
+        assert finding.site == "w"
+        assert report.ok  # warning only: prior fallback is legal
+
+    def test_shape_mismatch_reported(self):
+        report = validate(_model, _guide_bad_shape)
+        mismatches = [f for f in report.findings if f.kind == "shape-mismatch"]
+        assert [f.site for f in mismatches] == ["z"]
+        assert not report.ok
+        assert "(4,)" in mismatches[0].message
+
+    def test_orphaned_guide_site_reported(self):
+        def guide():
+            _guide_full()
+            ppl.sample("ghost", dist.Delta(ppl.param("g_loc", np.array(0.0))))
+
+        report = validate(_model, guide)
+        kinds = [f.kind for f in report.findings]
+        assert kinds == ["orphaned-guide-site"]
+        assert report.findings[0].site == "ghost"
+
+    def test_particle_collision_reported_statically(self):
+        num_particles = 2
+
+        def model():
+            # uncovered site whose batch axis equals the particle count: the
+            # configuration the vectorized replay refuses at runtime
+            ppl.sample("child", dist.Normal(np.zeros((num_particles, 3)), 1.0).to_event(1))
+
+        def guide():
+            pass
+
+        report = validate(model, guide, num_particles=num_particles)
+        kinds = {f.kind for f in report.findings}
+        assert "vectorize-collision" in kinds
+        assert not report.ok
+
+    def test_trace_failure_is_a_finding(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        report = validate(_model, broken)
+        assert [f.kind for f in report.findings] == ["trace-failure"]
+        assert not report.ok
+        assert "boom" in report.findings[0].message
+
+    def test_rng_state_restored_even_on_failure(self):
+        ppl.set_rng_seed(3)
+        state = ppl.get_rng().bit_generator.state
+
+        def broken():
+            ppl.get_rng().standard_normal(100)
+            raise RuntimeError("boom")
+
+        validate(_model, broken)
+        assert ppl.get_rng().bit_generator.state == state
+
+    def test_num_particles_must_be_positive(self):
+        with pytest.raises(ValueError):
+            validate(_model, _guide_full, num_particles=0)
+
+    def test_validate_target_wrapper(self):
+        target = ValidationTarget("toy", _model, _guide_full)
+        assert validate_target(target).clean
+
+
+class TestRuntimeRefusalPointsAtChecker:
+    def test_vectorized_collision_message_names_check_model(self):
+        def model():
+            ppl.sample("child", dist.Normal(np.zeros((2, 3)), 1.0).to_event(1))
+
+        with pytest.raises(ValueError, match="repro check-model"):
+            with nn.functional.vectorized_samples(1, sizes=(2,)):
+                poutine.trace(model).get_trace()
+
+    def test_shape_only_records_collision_instead_of_raising(self):
+        def model():
+            ppl.sample("child", dist.Normal(np.zeros((2, 3)), 1.0).to_event(1))
+
+        with poutine.shape_only():
+            with nn.functional.vectorized_samples(1, sizes=(2,)):
+                tr = poutine.trace(model).get_trace()
+        error = tr["child"].get("shape_only_error")
+        assert error is not None and "repro check-model" in error
+        assert tr.site_shapes()["child"]["shape_only_error"] == error
+
+
+class TestExperimentTargets:
+    def test_every_registered_experiment_exposes_targets(self):
+        from repro.experiments.api.registry import all_experiments
+
+        for spec in all_experiments():
+            targets = spec.make_validation_targets(fast=True)
+            assert targets, f"{spec.experiment_id} has no validation targets"
+            for target in targets:
+                assert isinstance(target, ValidationTarget)
+
+    def test_fig1_target_validates_clean(self):
+        from repro.experiments.api.registry import get_experiment
+
+        spec = get_experiment("fig1-regression")
+        (target,) = spec.make_validation_targets(fast=True)
+        report = validate_target(target)
+        assert report.clean, report.format()

@@ -123,7 +123,7 @@ class TestFlipout:
         outs = []
         with messenger:
             for _ in range(4000):
-                w_sample = Tensor(loc + scale * np.random.default_rng().standard_normal((4, 3)))
+                w_sample = Tensor(loc + scale * rng.standard_normal((4, 3)))
                 _register_weight_sample(messenger, w_sample, loc, scale)
                 outs.append(F.linear(Tensor(x), w_sample, None).data)
         ours = np.stack(outs)

@@ -7,6 +7,7 @@ file is written.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -165,3 +166,81 @@ def test_list_empty_registry_prints_friendly_message(monkeypatch, capsys):
     monkeypatch.setattr(cli, "all_experiments", lambda: [])
     assert main(["list"]) == 0
     assert "no experiments registered" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    """``repro lint``: exit 0 clean / 1 findings / 2 usage error."""
+
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import numpy as np\ngen = np.random.default_rng(0)\n")
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors, 0 warnings" in out
+
+    def test_findings_exit_1_and_are_printed(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\ngen = np.random.default_rng()\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "dirty.py" in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "no-such-dir")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_shipped_src_tree_is_clean(self, capsys):
+        import repro
+
+        src_repro = Path(repro.__file__).parent
+        assert main(["lint", str(src_repro)]) == 0
+
+
+class TestCheckModelCommand:
+    """``repro check-model``: static model/guide validation through the CLI."""
+
+    def test_unknown_id_exits_2(self, capsys):
+        assert main(["check-model", "fig9-unknown"]) == 2
+        assert "fig9-unknown" in capsys.readouterr().err
+
+    def test_no_ids_without_all_exits_2(self, capsys):
+        assert main(["check-model"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_fig1_fast_exits_0(self, capsys):
+        assert main(["check-model", "fig1-regression", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1-regression/mean-field-vi: ok" in out
+
+    def test_all_fast_exits_0(self, capsys):
+        assert main(["check-model", "--all", "--fast"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
+        assert "0 with findings" in out
+
+    def test_defective_target_exits_1(self, monkeypatch, capsys):
+        import numpy as np
+
+        import repro.ppl as ppl
+        import repro.ppl.distributions as dist
+        from repro.analysis import ValidationTarget
+        from repro.experiments.api import cli as api_cli
+        from repro.experiments.api.base import BaseExperimentConfig
+        from repro.experiments.api.registry import ExperimentSpec
+
+        def model():
+            ppl.sample("z", dist.Normal(np.zeros(5), np.ones(5)).to_event(1))
+
+        def guide():
+            ppl.sample("z", dist.Delta(ppl.param("loc", np.zeros(6)), event_dim=1))
+
+        spec = ExperimentSpec(
+            experiment_id="exp-defective", config_cls=BaseExperimentConfig,
+            runner=lambda c: ({}, None), number="E9", artefact="Test", title="t",
+            validation_targets=lambda config: [ValidationTarget("pair", model, guide)])
+        monkeypatch.setattr("repro.experiments.api.registry.get_experiment",
+                            lambda experiment_id: spec)
+        assert main(["check-model", "exp-defective"]) == 1
+        out = capsys.readouterr().out
+        assert "shape-mismatch" in out and "1 with errors" in out

@@ -51,8 +51,9 @@ class TestTrace:
 
     def test_duplicate_site_raises(self):
         def bad_model():
-            ppl.sample("a", dist.Normal(0.0, 1.0))
-            ppl.sample("a", dist.Normal(0.0, 1.0))
+            # the duplicate name is the point of this test
+            ppl.sample("a", dist.Normal(0.0, 1.0))  # repro: noqa[R002]
+            ppl.sample("a", dist.Normal(0.0, 1.0))  # repro: noqa[R002]
 
         with pytest.raises(ValueError):
             poutine.trace(bad_model).get_trace()
@@ -193,9 +194,9 @@ class TestPrimitivesOutsideHandlers:
         assert value.item() == 5.0
 
     def test_param_roundtrip(self):
-        p = ppl.param("weight", np.array([1.0, 2.0]))
+        p = ppl.param("weight", np.array([1.0, 2.0]))  # repro: noqa[R002]
         np.testing.assert_allclose(p.data, [1.0, 2.0])
-        again = ppl.param("weight")
+        again = ppl.param("weight")  # repro: noqa[R002]
         np.testing.assert_allclose(again.data, [1.0, 2.0])
 
     def test_param_without_init_raises(self):

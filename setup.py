@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.4.0",
+    version="0.5.0",
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

@@ -163,22 +163,43 @@ class EagerMaterializationRule(LintRule):
     Inside ``repro/nn``, ``repro/ppl`` and ``repro/render`` — the packages the
     lazy-graph ROADMAP item will rebuild around deferred op graphs —
     materializing a *freshly computed* value (``f(...).data``,
-    ``np.asarray(f(...))``) forces evaluation at that op and severs the
-    autograd/op-graph chain.  Reading ``.data`` from a bound name (exports,
-    I/O boundaries) stays legal; the rule only fires on call results, where
-    the intermediate graph is discarded before anything else can see it.
+    ``np.asarray(f(...))``, ``f(...).numpy()``) forces evaluation at that op
+    and severs the autograd/op-graph chain.  Reading ``.data`` from a bound
+    name (exports, I/O boundaries) stays legal; the rule only fires on call
+    results, where the intermediate graph is discarded before anything else
+    can see it.  ``.numpy()`` on a call result is additionally exempt inside
+    ``return`` statements — a returned array is a leaf leaving the hot path,
+    not an intermediate that silently breaks fusion.
     Files outside the three hot-path packages are exempt.
     """
 
     rule_id = "R003"
     severity = WARNING
-    description = ("eager .data / np.asarray materialization of a freshly "
-                   "computed value inside a repro/nn|ppl|render hot path")
+    description = ("eager .data / np.asarray / .numpy() materialization of a "
+                   "freshly computed value inside a repro/nn|ppl|render hot "
+                   "path")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_hot_package(ctx):
             return
+        in_return = set()
         for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for child in ast.walk(node.value):
+                    in_return.add(id(child))
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call) and not node.args
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "numpy"
+                    and isinstance(node.func.value, ast.Call)
+                    and id(node) not in in_return):
+                yield self.finding(
+                    ctx, node,
+                    ".numpy() on an intermediate call result forces "
+                    "realization mid-chain and silently breaks elementwise "
+                    "fusion; bind the tensor and realize it at the boundary "
+                    "(or return it) instead")
+                continue
             if (isinstance(node, ast.Attribute) and node.attr == "data"
                     and isinstance(node.value, ast.Call)):
                 yield self.finding(

@@ -48,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"artifact directory (default: {DEFAULT_OUTPUT_DIR!r})")
         sub.add_argument("--no-artifact", action="store_true",
                          help="do not write the JSON artifact")
+        sub.add_argument("--verbose", action="store_true",
+                         help="print lazy op-graph stats (ops recorded/fused, "
+                              "buffers elided, realizations) after the run")
 
     run = subparsers.add_parser("run", help="run one experiment by id")
     run.add_argument("experiment_id", metavar="id",
@@ -101,6 +104,20 @@ def _collect_overrides(args: argparse.Namespace) -> Dict[str, Any]:
     return overrides
 
 
+def _print_graph_stats(before: Dict[str, int], stream) -> None:
+    from ...nn import lazy
+
+    after = lazy.graph_stats()
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    print("  lazy graph: "
+          f"{delta['ops_recorded']} ops recorded, {delta['ops_fused']} fused, "
+          f"{delta['buffers_elided']} buffers elided, "
+          f"{delta['ops_evaluated']} evaluated in "
+          f"{delta['realizations']} realizations "
+          f"({'on' if lazy.lazy_enabled() else 'off (REPRO_LAZY=0)'})",
+          file=stream)
+
+
 def _print_result(spec, result, stream) -> None:
     print(f"[{spec.number}] {spec.experiment_id} ({spec.artefact}) "
           f"finished in {result.wall_clock_seconds:.1f}s", file=stream)
@@ -138,11 +155,17 @@ def _cmd_run(args: argparse.Namespace, stream) -> int:
         return 2
     try:
         overrides = _collect_overrides(args)
+        if args.verbose:
+            from ...nn import lazy
+
+            stats_before = lazy.graph_stats()
         result = spec.run(fast=args.fast, overrides=overrides)
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     _print_result(spec, result, stream)
+    if args.verbose:
+        _print_graph_stats(stats_before, stream)
     return 0
 
 
@@ -154,6 +177,10 @@ def _cmd_run_all(args: argparse.Namespace, stream) -> int:
         return 2
     statuses: List[tuple] = []
     for spec in all_experiments():
+        if args.verbose:
+            from ...nn import lazy
+
+            stats_before = lazy.graph_stats()
         try:
             result = spec.run(fast=args.fast, overrides=overrides)
         except Exception as exc:  # one failing experiment must not abort the sweep
@@ -162,6 +189,8 @@ def _cmd_run_all(args: argparse.Namespace, stream) -> int:
             statuses.append((spec.experiment_id, False))
             continue
         _print_result(spec, result, stream)
+        if args.verbose:
+            _print_graph_stats(stats_before, stream)
         statuses.append((spec.experiment_id, True))
     failed = [experiment_id for experiment_id, ok in statuses if not ok]
     print(f"run-all: {len(statuses) - len(failed)}/{len(statuses)} experiments passed",

@@ -8,6 +8,7 @@ verbatim.
 
 from . import functional
 from . import init
+from . import lazy
 from . import models
 from .functional import sample_ndim, sample_sizes, vectorized_samples
 from .data import DataLoader, Dataset, Subset, TensorDataset, random_split
@@ -36,5 +37,5 @@ __all__ = [
     # vectorized-sample execution mode
     "sample_ndim", "sample_sizes", "vectorized_samples",
     # submodules
-    "functional", "init", "models",
+    "functional", "init", "lazy", "models",
 ]

@@ -14,6 +14,13 @@ Design notes
   broadcast dimensions by :func:`unbroadcast`.
 * A global gradient-mode flag (:func:`no_grad`, :func:`is_grad_enabled`)
   mirrors ``torch.no_grad()`` so evaluation code can skip tape construction.
+* Elementwise ops on gradient-free tensors are *lazy*: they record a
+  :class:`repro.nn.lazy.LazyOp` node instead of computing, and realization
+  (triggered by ``.data`` / ``.numpy()`` / ``.item()`` access, comparisons,
+  ``backward()``, eager kernel ops, or :meth:`Tensor.realize`) fuses
+  elementwise chains into single buffer passes.  ``REPRO_LAZY=0`` restores
+  fully eager semantics; results are bit-identical either way.  See
+  :mod:`repro.nn.lazy`.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import special as _sp_special
+
+from . import lazy as _lazy
 
 __all__ = [
     "Tensor",
@@ -105,6 +114,38 @@ def _shift_right_one(arr: np.ndarray, axis: int) -> np.ndarray:
     return out
 
 
+def _resolve_reshape(in_shape: Tuple[int, ...], requested: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Resolve a requested reshape (incl. one ``-1``) against ``in_shape``
+    without touching data, mirroring numpy's validation errors."""
+    total = int(np.prod(in_shape, dtype=np.int64)) if in_shape else 1
+    if requested.count(-1) > 1:
+        raise ValueError("can only specify one unknown dimension")
+    if -1 in requested:
+        known = 1
+        for dim in requested:
+            if dim != -1:
+                known *= dim
+        if known == 0 or total % known:
+            raise ValueError(f"cannot reshape array of size {total} into shape {requested}")
+        return tuple(total // known if dim == -1 else dim for dim in requested)
+    if int(np.prod(requested, dtype=np.int64) if requested else 1) != total:
+        raise ValueError(f"cannot reshape array of size {total} into shape {requested}")
+    return requested
+
+
+def _from_lazy(node: "_lazy.LazyOp", op: str) -> "Tensor":
+    """Wrap a recorded :class:`~repro.nn.lazy.LazyOp` in an unrealized Tensor."""
+    out = Tensor.__new__(Tensor)
+    out._data = None
+    out._lazy = node
+    out.grad = None
+    out.requires_grad = False
+    out._backward = _noop_backward
+    out._prev = ()
+    out._op = op
+    return out
+
+
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over the axes that were introduced or expanded by
     broadcasting so that the result has exactly ``shape``."""
@@ -121,10 +162,14 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class Tensor:
-    """A NumPy-backed array node in the autograd graph."""
+def _noop_backward() -> None:
+    return None
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+class Tensor:
+    """A NumPy-backed (and lazily evaluated) array node in the autograd graph."""
+
+    __slots__ = ("_data", "_lazy", "grad", "requires_grad", "_backward", "_prev", "_op")
 
     __array_priority__ = 1000  # make numpy defer to our __r*__ operators
 
@@ -138,40 +183,74 @@ class Tensor:
         arr = _as_array(data)
         if requires_grad and not np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64)
-        self.data = arr
+        self._data: Optional[np.ndarray] = arr
+        self._lazy: Optional[_lazy.LazyOp] = None
         self.grad: Optional[np.ndarray] = None
         # NOTE: explicit requires_grad is honoured even inside no_grad() —
         # like torch, grad mode only controls whether *operations* record the
         # tape (handled by _make and the op implementations), not whether leaf
         # tensors can require gradients.
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[], None] = lambda: None
+        self._backward: Callable[[], None] = _noop_backward
         self._prev: Tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
         self._op = _op
 
+    # ------------------------------------------------------------------ data
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying array; accessing it realizes any pending lazy graph."""
+        if self._data is None:
+            _lazy.realize(self)
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value if isinstance(value, np.ndarray) else np.asarray(value)
+        self._lazy = None
+
+    def realize(self) -> "Tensor":
+        """Force evaluation of this tensor's lazy graph; returns ``self``."""
+        if self._data is None:
+            _lazy.realize(self)
+        return self
+
+    @property
+    def is_realized(self) -> bool:
+        """False while this tensor is a pending node of the lazy op graph."""
+        return self._data is not None
+
     # ------------------------------------------------------------------ meta
+    # Shape/dtype metadata comes from the lazy node when the tensor is
+    # unrealized, so inspecting it never forces evaluation.
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        if self._data is None:
+            return self._lazy.shape
+        return self._data.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self.shape)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
 
     @property
     def dtype(self):
-        return self.data.dtype
+        if self._data is None:
+            return self._lazy.dtype
+        return self._data.dtype
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __len__(self) -> int:
-        return len(self.data)
+        shape = self.shape
+        if not shape:
+            raise TypeError("len() of unsized object")
+        return shape[0]
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -189,7 +268,29 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def clone(self) -> "Tensor":
-        out = self._make(self.data.copy(), (self,), "clone")
+        # cloning a lazy tensor records a node rather than realizing the
+        # source graph; the backward closure (grad path only) is unchanged
+        out = self._make_ew("clone", (self,))
+        if out.requires_grad:
+
+            def _backward():
+                self._accumulate(out.grad)
+
+            out._backward = _backward
+        return out
+
+    def contiguous(self) -> "Tensor":
+        """Return a C-contiguous tensor (``self`` when already contiguous).
+
+        An unrealized lazy tensor is returned as-is: realization writes into
+        freshly allocated (contiguous) buffers, so forcing it here would only
+        break fusion.
+        """
+        if self._data is None or self._data.flags["C_CONTIGUOUS"]:
+            if _lazy.lazy_enabled():
+                _lazy.STATS.buffers_elided += 1
+            return self
+        out = self._make(np.ascontiguousarray(self.data), (self,), "contiguous")
         if out.requires_grad:
 
             def _backward():
@@ -212,6 +313,25 @@ class Tensor:
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._prev = prev
+            out._op = op
+        return out
+
+    def _make_ew(self, op: str, parents: Tuple["Tensor", ...], **params) -> "Tensor":
+        """Build an elementwise op result: a lazy node for gradient-free
+        inputs (when the engine is enabled), else an eagerly computed tensor.
+
+        Gradient-tracking ops always realize at record time: the ``_backward``
+        closure the caller attaches is the realization-time product, so the
+        autograd tape is exactly the eager engine's.  Both paths run the same
+        kernels (:data:`repro.nn.lazy.ELEMENTWISE_OPS`) — bit-identical.
+        """
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires and _lazy.lazy_enabled():
+            return _from_lazy(_lazy.record(op, parents, params), op)
+        data = _lazy.compute_eager(op, [p.data for p in parents], params)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = parents
             out._op = op
         return out
 
@@ -260,7 +380,7 @@ class Tensor:
     # ------------------------------------------------------------ arithmetic
     def __add__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make(self.data + other_t.data, (self, other_t), "add")
+        out = self._make_ew("add", (self, other_t))
         if out.requires_grad:
 
             def _backward():
@@ -273,7 +393,7 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        out = self._make(-self.data, (self,), "neg")
+        out = self._make_ew("neg", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -284,7 +404,7 @@ class Tensor:
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make(self.data - other_t.data, (self, other_t), "sub")
+        out = self._make_ew("sub", (self, other_t))
         if out.requires_grad:
 
             def _backward():
@@ -299,7 +419,7 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make(self.data * other_t.data, (self, other_t), "mul")
+        out = self._make_ew("mul", (self, other_t))
         if out.requires_grad:
 
             def _backward():
@@ -313,7 +433,7 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make(self.data / other_t.data, (self, other_t), "div")
+        out = self._make_ew("div", (self, other_t))
         if out.requires_grad:
 
             def _backward():
@@ -329,7 +449,7 @@ class Tensor:
     def __pow__(self, exponent: Union[int, float]) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = self._make(self.data ** exponent, (self,), "pow")
+        out = self._make_ew("pow", (self,), exponent=exponent)
         if out.requires_grad:
 
             def _backward():
@@ -390,7 +510,7 @@ class Tensor:
 
     # ------------------------------------------------------------ elementwise
     def exp(self) -> "Tensor":
-        out = self._make(np.exp(self.data), (self,), "exp")
+        out = self._make_ew("exp", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -400,7 +520,7 @@ class Tensor:
         return out
 
     def log(self) -> "Tensor":
-        out = self._make(np.log(self.data), (self,), "log")
+        out = self._make_ew("log", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -410,7 +530,7 @@ class Tensor:
         return out
 
     def log1p(self) -> "Tensor":
-        out = self._make(np.log1p(self.data), (self,), "log1p")
+        out = self._make_ew("log1p", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -420,7 +540,7 @@ class Tensor:
         return out
 
     def sqrt(self) -> "Tensor":
-        out = self._make(np.sqrt(self.data), (self,), "sqrt")
+        out = self._make_ew("sqrt", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -430,7 +550,7 @@ class Tensor:
         return out
 
     def abs(self) -> "Tensor":
-        out = self._make(np.abs(self.data), (self,), "abs")
+        out = self._make_ew("abs", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -440,7 +560,7 @@ class Tensor:
         return out
 
     def tanh(self) -> "Tensor":
-        out = self._make(np.tanh(self.data), (self,), "tanh")
+        out = self._make_ew("tanh", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -450,8 +570,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        data = _sp_special.expit(self.data)
-        out = self._make(data, (self,), "sigmoid")
+        out = self._make_ew("sigmoid", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -461,7 +580,7 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
-        out = self._make(np.maximum(self.data, 0.0), (self,), "relu")
+        out = self._make_ew("relu", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -471,8 +590,7 @@ class Tensor:
         return out
 
     def softplus(self) -> "Tensor":
-        data = np.logaddexp(0.0, self.data)
-        out = self._make(data, (self,), "softplus")
+        out = self._make_ew("softplus", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -482,7 +600,7 @@ class Tensor:
         return out
 
     def erf(self) -> "Tensor":
-        out = self._make(_sp_special.erf(self.data), (self,), "erf")
+        out = self._make_ew("erf", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -492,7 +610,7 @@ class Tensor:
         return out
 
     def sin(self) -> "Tensor":
-        out = self._make(np.sin(self.data), (self,), "sin")
+        out = self._make_ew("sin", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -502,7 +620,7 @@ class Tensor:
         return out
 
     def cos(self) -> "Tensor":
-        out = self._make(np.cos(self.data), (self,), "cos")
+        out = self._make_ew("cos", (self,))
         if out.requires_grad:
 
             def _backward():
@@ -512,16 +630,15 @@ class Tensor:
         return out
 
     def clamp(self, min: Optional[float] = None, max: Optional[float] = None) -> "Tensor":
-        data = np.clip(self.data, min, max)
-        out = self._make(data, (self,), "clamp")
+        out = self._make_ew("clamp", (self,), min=min, max=max)
         if out.requires_grad:
-            mask = np.ones_like(self.data, dtype=bool)
-            if min is not None:
-                mask &= self.data >= min
-            if max is not None:
-                mask &= self.data <= max
 
             def _backward():
+                mask = np.ones_like(self.data, dtype=bool)
+                if min is not None:
+                    mask &= self.data >= min
+                if max is not None:
+                    mask &= self.data <= max
                 self._accumulate(out.grad * mask)
 
             out._backward = _backward
@@ -635,7 +752,17 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = self._make(self.data.reshape(shape), (self,), "reshape")
+        new_shape = _resolve_reshape(self.shape, tuple(int(s) for s in shape))
+        if new_shape == self.shape and _lazy.lazy_enabled():
+            # identity reshape: gradient flow and values are unchanged, so
+            # the movement op is elided entirely
+            _lazy.STATS.buffers_elided += 1
+            return self
+        requires = is_grad_enabled() and self.requires_grad
+        if not requires and _lazy.lazy_enabled():
+            return _from_lazy(_lazy.record("reshape", (self,), {"shape": new_shape}),
+                              "reshape")
+        out = self._make(self.data.reshape(new_shape), (self,), "reshape")
         if out.requires_grad:
             in_shape = self.shape
 
@@ -652,12 +779,27 @@ class Tensor:
         return self.reshape(*shape)
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
-        data = np.squeeze(self.data, axis=axis) if axis is not None else np.squeeze(self.data)
-        return self.reshape(data.shape)
+        # shape-only (no realization): squeezing is a pure movement op
+        shape = self.shape
+        if axis is None:
+            new_shape = tuple(s for s in shape if s != 1)
+        else:
+            ax = axis if axis >= 0 else axis + len(shape)
+            if not 0 <= ax < len(shape):
+                raise ValueError(f"axis {axis} out of bounds for {len(shape)}-D tensor")
+            if shape[ax] != 1:
+                raise ValueError(f"cannot select an axis to squeeze out which has "
+                                 f"size not equal to one (axis {axis}, size {shape[ax]})")
+            new_shape = shape[:ax] + shape[ax + 1:]
+        return self.reshape(new_shape)
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        data = np.expand_dims(self.data, axis)
-        return self.reshape(data.shape)
+        shape = self.shape
+        ax = axis if axis >= 0 else axis + len(shape) + 1
+        if not 0 <= ax <= len(shape):
+            raise ValueError(f"axis {axis} out of bounds for inserting into "
+                             f"{len(shape)}-D tensor")
+        return self.reshape(shape[:ax] + (1,) + shape[ax:])
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 0:
@@ -671,6 +813,24 @@ class Tensor:
             axes_ = tuple(axes_)
         else:
             axes_ = tuple(axes)
+        if _lazy.lazy_enabled():
+            ndim = self.ndim
+            identity = tuple(range(ndim))
+            norm = (identity[::-1] if axes_ is None
+                    else tuple(a % ndim for a in axes_))
+            if norm == identity:
+                _lazy.STATS.buffers_elided += 1
+                return self
+            if self._lazy is not None and self._lazy.op == "transpose":
+                # inverse transpose pair: composing the permutations yields
+                # the identity, so both movement ops are elided
+                prev_axes = self._lazy.params["axes"]
+                if tuple(prev_axes[a] for a in norm) == identity:
+                    _lazy.STATS.buffers_elided += 1
+                    return self._lazy.parents[0]
+            if not (is_grad_enabled() and self.requires_grad):
+                return _from_lazy(_lazy.record("transpose", (self,), {"axes": norm}),
+                                  "transpose")
         out = self._make(np.transpose(self.data, axes_), (self,), "transpose")
         if out.requires_grad:
 

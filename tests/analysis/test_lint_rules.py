@@ -214,6 +214,40 @@ class TestR003EagerMaterialization:
         """, name="experiments/report.py")
         assert lint_file(path) == []
 
+    def test_numpy_on_intermediate_call_result_flagged(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                arr = net(x).relu().numpy()
+                return arr.sum()
+        """)
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R003"]
+        assert "fusion" in findings[0].message
+
+    def test_numpy_in_return_statement_allowed(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                return net(x).relu().numpy()
+        """)
+        assert lint_file(path) == []
+
+    def test_numpy_on_bound_name_allowed(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                out = net(x)
+                arr = out.numpy()
+                return arr
+        """)
+        assert lint_file(path) == []
+
+    def test_numpy_intermediate_noqa_suppresses(self, tmp_path):
+        path = self._hot(tmp_path, """
+            def f(net, x):
+                arr = net(x).numpy()  # repro: noqa[R003]
+                return arr.sum()
+        """)
+        assert lint_file(path) == []
+
 
 class TestR004SeedBeforeSampling:
     def test_runner_without_seed_all_flagged(self, tmp_path):

@@ -1,0 +1,297 @@
+"""Tests for the lazy op-graph execution engine (``repro.nn.lazy``).
+
+Covers the PR's acceptance surface: bit-identical forward/grad vs eager for
+fused elementwise chains (including broadcasting and shared subgraphs),
+elision of no-op movement ops, single evaluation of diamond graphs (via
+``graph_stats()``), the ``REPRO_LAZY=0`` escape hatch, and the lazy
+``Tensor.clone()`` fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import lazy
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _lazy_on():
+    """Force laziness on (whatever REPRO_LAZY says) and zero the counters."""
+    previous = lazy.lazy_enabled()
+    lazy.set_lazy_enabled(True)
+    lazy.reset_stats()
+    try:
+        yield
+    finally:
+        lazy.set_lazy_enabled(previous)
+
+
+def _chain(x, y):
+    """A representative elementwise chain with broadcasting."""
+    return ((x * 2.0 + y).tanh().relu() - 0.25).exp() / (y.abs() + 1.0)
+
+
+class TestEagerEquivalence:
+    def test_fused_chain_bit_identical_to_eager(self):
+        rng = np.random.default_rng(0)
+        xv = rng.normal(size=(32, 16))
+        yv = rng.normal(size=(16,))  # broadcasts against x
+        out_lazy = _chain(nn.tensor(xv), nn.tensor(yv))
+        assert not out_lazy.is_realized
+        with lazy.lazy_mode(False):
+            out_eager = _chain(nn.tensor(xv), nn.tensor(yv))
+            assert out_eager.is_realized
+        np.testing.assert_array_equal(out_lazy.numpy(), out_eager.numpy())
+        assert out_lazy.dtype == out_eager.dtype
+
+    def test_shared_subgraph_bit_identical(self):
+        xv = np.linspace(-2.0, 2.0, 101)
+        x = nn.tensor(xv)
+        shared = (x * 3.0).sigmoid()
+        out = shared * 2.0 + shared.log()
+        with lazy.lazy_mode(False):
+            e_shared = (nn.tensor(xv) * 3.0).sigmoid()
+            expected = (e_shared * 2.0 + e_shared.log()).numpy()
+        np.testing.assert_array_equal(out.numpy(), expected)
+
+    def test_grad_chain_matches_lazy_off(self):
+        xv = np.linspace(-1.5, 1.5, 64).reshape(8, 8)
+        x = nn.tensor(xv, requires_grad=True)
+        loss = ((x * 2.0).tanh().relu() + x.sigmoid()).sum()
+        loss.backward()
+        with lazy.lazy_mode(False):
+            x2 = nn.tensor(xv, requires_grad=True)
+            loss2 = ((x2 * 2.0).tanh().relu() + x2.sigmoid()).sum()
+            loss2.backward()
+        np.testing.assert_array_equal(loss.numpy(), loss2.numpy())
+        np.testing.assert_array_equal(x.grad, x2.grad)
+
+    def test_mixed_grad_and_lazy_operands(self):
+        # a no-grad lazy tensor feeding a grad-requiring op realizes cleanly
+        base = (nn.tensor([1.0, 2.0, 3.0]) * 2.0).sqrt()
+        w = nn.tensor([0.5, 0.5, 0.5], requires_grad=True)
+        loss = (base * w).sum()
+        loss.backward()
+        np.testing.assert_array_equal(w.grad, np.sqrt([2.0, 4.0, 6.0]))
+
+    def test_int_dtype_promotion_matches_eager(self):
+        a = nn.tensor(np.array([1, 2, 3], dtype=np.int64))
+        lazy_div = (a / 2)
+        with lazy.lazy_mode(False):
+            eager_div = nn.tensor(np.array([1, 2, 3], dtype=np.int64)) / 2
+        assert lazy_div.dtype == eager_div.dtype
+        np.testing.assert_array_equal(lazy_div.numpy(), eager_div.numpy())
+
+
+class TestRealizationPoints:
+    def test_ops_defer_until_data_access(self):
+        x = nn.tensor(np.ones((4, 4)))
+        y = (x + 1.0) * 3.0
+        assert not y.is_realized
+        stats = lazy.graph_stats()
+        assert stats["ops_recorded"] == 2
+        assert stats["ops_evaluated"] == 0
+        _ = y.data  # realization point
+        assert y.is_realized
+        assert lazy.graph_stats()["ops_evaluated"] == 2
+
+    def test_explicit_realize_returns_self(self):
+        y = nn.tensor([1.0]) + 1.0
+        assert y.realize() is y
+        assert y.is_realized
+
+    def test_item_and_comparison_realize(self):
+        assert (nn.tensor(2.0) * 3.0).item() == 6.0
+        mask = (nn.tensor([1.0, 5.0]) * 2.0) > nn.tensor([3.0, 3.0])
+        assert isinstance(mask, np.ndarray)  # comparison realized both sides
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_shape_metadata_without_realization(self):
+        x = nn.tensor(np.ones((2, 3, 4)))
+        y = (x * 2.0).reshape(4, 6).transpose(1, 0)
+        assert y.shape == (6, 4)
+        assert y.ndim == 2
+        assert y.size == 24
+        assert y.dtype == np.float64
+        assert not y.is_realized
+
+
+class TestFusion:
+    def test_chain_fuses_into_reused_buffers(self):
+        x = nn.tensor(np.ones(1000))
+        y = x * 2.0
+        for _ in range(9):
+            y = y + 1.0
+        y.realize()
+        stats = lazy.graph_stats()
+        assert stats["ops_evaluated"] == 10
+        # every op after the first writes into the dead temp from its parent
+        assert stats["ops_fused"] == 9
+        assert stats["realizations"] == 1
+
+    def test_diamond_graph_evaluates_shared_node_once(self):
+        x = nn.tensor(np.arange(8.0))
+        mid = (x * 2.0).exp()   # shared by both branches
+        left = mid + 1.0
+        right = mid * 3.0
+        out = left + right
+        out.realize()
+        stats = lazy.graph_stats()
+        # exp, mul, add, mul, add — the shared `mid` is evaluated exactly once
+        assert stats["ops_evaluated"] == 5
+        assert stats["realizations"] == 1
+        np.testing.assert_array_equal(
+            out.numpy(), (np.exp(np.arange(8.0) * 2.0) + 1.0)
+            + np.exp(np.arange(8.0) * 2.0) * 3.0)
+
+    def test_shared_node_not_clobbered_by_fusion(self):
+        # the shared node's buffer must not be reused as an out= destination
+        x = nn.tensor(np.full(16, 2.0))
+        shared = x + 1.0
+        a = shared * 10.0
+        b = shared - 1.0
+        np.testing.assert_array_equal(a.numpy(), np.full(16, 30.0))
+        np.testing.assert_array_equal(b.numpy(), np.full(16, 2.0))
+
+    def test_realizing_shared_prefix_then_suffix(self):
+        x = nn.tensor(np.ones(4))
+        mid = x + 1.0
+        out = mid * 5.0
+        mid.realize()
+        evaluated_after_mid = lazy.graph_stats()["ops_evaluated"]
+        out.realize()
+        stats = lazy.graph_stats()
+        # the suffix realization reuses mid's cached buffer
+        assert stats["ops_evaluated"] == evaluated_after_mid + 1
+        np.testing.assert_array_equal(out.numpy(), np.full(4, 10.0))
+
+
+class TestMovementElision:
+    def test_identity_reshape_elided(self):
+        x = nn.tensor(np.ones((2, 3)))
+        assert x.reshape(2, 3) is x
+        assert x.reshape(2, -1) is x
+        assert lazy.graph_stats()["buffers_elided"] == 2
+
+    def test_double_transpose_elided(self):
+        x = nn.tensor(np.ones((2, 3, 4))) * 1.5
+        t = x.transpose(2, 0, 1)
+        assert t.transpose(1, 2, 0) is x
+        assert lazy.graph_stats()["buffers_elided"] == 1
+
+    def test_identity_permutation_elided(self):
+        x = nn.tensor(np.ones((2, 3)))
+        assert x.transpose((0, 1)) is x  # tuple form: explicit permutation
+        assert lazy.graph_stats()["buffers_elided"] == 1
+
+    def test_contiguous_on_contiguous_elided(self):
+        x = nn.tensor(np.ones((4, 4)))
+        assert x.contiguous() is x
+        y = x * 2.0
+        assert y.contiguous() is y  # unrealized: realization makes it contiguous
+        assert lazy.graph_stats()["buffers_elided"] == 2
+
+    def test_non_identity_movement_still_works(self):
+        xv = np.arange(6.0).reshape(2, 3)
+        y = (nn.tensor(xv) + 1.0).reshape(3, 2).transpose(1, 0)
+        np.testing.assert_array_equal(y.numpy(), (xv + 1.0).reshape(3, 2).T)
+
+    def test_squeeze_unsqueeze_stay_lazy(self):
+        x = nn.tensor(np.ones((2, 1, 3)))
+        y = (x * 2.0).squeeze(1).unsqueeze(0)
+        assert y.shape == (1, 2, 3)
+        assert not y.is_realized
+        np.testing.assert_array_equal(y.numpy(), np.full((1, 2, 3), 2.0))
+
+
+class TestClone:
+    def test_clone_of_lazy_tensor_does_not_realize_source(self):
+        x = nn.tensor(np.ones(8))
+        y = x * 2.0
+        c = y.clone()
+        assert not y.is_realized
+        assert not c.is_realized
+        np.testing.assert_array_equal(c.numpy(), np.full(8, 2.0))
+
+    def test_clone_is_a_copy(self):
+        x = nn.tensor([1.0, 2.0])
+        c = x.clone()
+        c.realize()
+        c.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+    def test_clone_grad_flows(self):
+        x = nn.tensor([1.0, 2.0], requires_grad=True)
+        (x.clone() * 3.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [3.0, 3.0])
+
+
+class TestEscapeHatch:
+    def test_env_parsing(self):
+        assert lazy._env_enabled(None)
+        assert lazy._env_enabled("1")
+        assert lazy._env_enabled("yes")
+        for off in ("0", "false", "False", "off", "OFF", "no", " 0 "):
+            assert not lazy._env_enabled(off)
+
+    def test_lazy_off_is_fully_eager(self):
+        with lazy.lazy_mode(False):
+            y = nn.tensor([1.0, 2.0]) * 2.0 + 1.0
+            assert y.is_realized
+        assert lazy.graph_stats()["ops_recorded"] == 0
+
+    def test_lazy_off_no_elision_identity(self):
+        with lazy.lazy_mode(False):
+            x = nn.tensor(np.ones((2, 3)))
+            r = x.reshape(2, 3)
+            assert isinstance(r, Tensor)
+            np.testing.assert_array_equal(r.numpy(), x.numpy())
+        assert lazy.graph_stats()["buffers_elided"] == 0
+
+    def test_parity_lazy_on_vs_off(self):
+        rng = np.random.default_rng(7)
+        xv = rng.normal(size=(10, 5))
+        on = _chain(nn.tensor(xv), nn.tensor(xv[0])).numpy()
+        with lazy.lazy_mode(False):
+            off = _chain(nn.tensor(xv), nn.tensor(xv[0])).numpy()
+        np.testing.assert_array_equal(on, off)
+
+
+class TestModuleIntegration:
+    def test_no_grad_mlp_forward_matches_eager(self):
+        from repro.ppl.rng import set_rng_seed
+
+        def forward(xv):
+            set_rng_seed(0)
+            net = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 1))
+            with nn.no_grad():
+                return net(nn.tensor(xv)).numpy()
+
+        xv = np.random.default_rng(3).normal(size=(16, 4))
+        out_lazy = forward(xv)
+        with lazy.lazy_mode(False):
+            out_eager = forward(xv)
+        np.testing.assert_array_equal(out_lazy, out_eager)
+
+    def test_training_step_matches_eager(self):
+        from repro.ppl.rng import set_rng_seed
+
+        def step(xv, tv):
+            set_rng_seed(1)
+            net = nn.Linear(3, 1)
+            opt = nn.SGD(net.parameters(), lr=0.1)
+            for _ in range(3):
+                opt.zero_grad()
+                loss = ((net(nn.tensor(xv)) - nn.tensor(tv)) ** 2).sum()
+                loss.backward()
+                opt.step()
+            return [p.numpy().copy() for p in net.parameters()]
+
+        rng = np.random.default_rng(5)
+        xv, tv = rng.normal(size=(8, 3)), rng.normal(size=(8, 1))
+        params_lazy = step(xv, tv)
+        with lazy.lazy_mode(False):
+            params_eager = step(xv, tv)
+        for a, b in zip(params_lazy, params_eager):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,56 @@
+"""Registered workload for the sweep-engine perf gate.
+
+Each cell sleeps a fixed interval and returns trivial deterministic metrics —
+the shape of a data-loading / I/O-bound experiment.  A sleep-dominated cell
+makes the workers=1 vs workers=4 comparison measure exactly what the pool
+promises (overlapping independent cells) instead of the host's core count,
+so the gate holds on single-core CI runners too.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.api import BaseExperimentConfig, register
+
+BENCH_SWEEP_ID = "bench-sweep-sleep"
+
+
+@dataclass
+class SleepCellConfig(BaseExperimentConfig):
+    sleep: float = 0.45
+    scale: float = 1.0
+
+    @classmethod
+    def fast(cls):
+        return cls(fast=True, sleep=0.0)
+
+
+def _validation_targets(config):
+    # the workload itself is RNG-trivial; expose a minimal covered model/guide
+    # pair so the "every registered experiment validates" invariant holds even
+    # when this module is imported alongside the tier-1 suite
+    import numpy as np
+
+    import repro.ppl as ppl
+    import repro.ppl.distributions as dist
+    from repro.analysis import ValidationTarget
+
+    def model():
+        w = ppl.sample("w", dist.Normal(0.0, 1.0))
+        ppl.sample("obs", dist.Normal(w, 1.0), obs=np.array(0.0))
+
+    def guide():
+        ppl.sample("w", dist.Delta(ppl.param("w_loc", np.array(0.0))))
+
+    return [ValidationTarget("sleep-cell", model, guide)]
+
+
+@register(BENCH_SWEEP_ID, config_cls=SleepCellConfig, number="B1",
+          artefact="Bench", title="sleep-shaped sweep cell (pool-overlap gate)",
+          validation_targets=_validation_targets)
+def _sleep_cell(config):
+    rng = config.seed_all()
+    time.sleep(config.sleep)
+    noise = float(rng.normal())
+    return {"value": config.scale * config.seed + 1e-3 * noise,
+            "noise": noise}, None

@@ -2,16 +2,17 @@
 (offline environments fall back to the legacy develop install path).
 
 Installs the ``repro`` console script (``repro list`` / ``repro run <id>`` /
-``repro run-all`` / ``repro lint`` / ``repro check-model``) — the unified CLI
-over the experiment registry in ``repro.experiments.api`` and the static
-analysis subsystem in ``repro.analysis``.
+``repro run-all`` / ``repro sweep`` / ``repro results`` / ``repro lint`` /
+``repro check-model``) — the unified CLI over the experiment registry in
+``repro.experiments.api``, the fault-tolerant sweep engine in ``repro.exec``,
+and the static analysis subsystem in ``repro.analysis``.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.5.0",
+    version="0.6.0",
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

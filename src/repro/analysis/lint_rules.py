@@ -1,4 +1,4 @@
-"""The built-in repo-specific lint rules (R001-R005).
+"""The built-in repo-specific lint rules (R001-R006).
 
 Each rule targets a defect class that a previous PR had to fix *after* a
 runtime path exposed it; the rules make the next instance a static finding.
@@ -16,7 +16,8 @@ from .rules import (FileContext, LintRule, attr_chain, register_rule,
                     scope_statements)
 
 __all__ = ["RngDisciplineRule", "SampleSiteNameRule", "EagerMaterializationRule",
-           "SeedBeforeSamplingRule", "SizedVectorizedContextRule"]
+           "SeedBeforeSamplingRule", "SizedVectorizedContextRule",
+           "SilentExceptionSwallowRule"]
 
 _NUMPY_ALIASES = ("np", "numpy")
 
@@ -357,3 +358,64 @@ class SizedVectorizedContextRule(LintRule):
                         "particle would share one draw — declare "
                         "sizes=(num_particles,) (or hoist the sampling out of "
                         "the context)")
+
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _broad_handler_label(handler: ast.ExceptHandler) -> Optional[str]:
+    """``"except:"``-style label when the handler catches (near-)everything."""
+    if handler.type is None:
+        return "bare except:"
+    exceptions = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                  else [handler.type])
+    for node in exceptions:
+        name = attr_chain(node)[-1:]
+        if name and name[0] in _BROAD_EXCEPTIONS:
+            return f"except {name[0]}"
+    return None
+
+
+def _is_silent_body(body: List[ast.stmt]) -> bool:
+    """True when the handler body does nothing with the exception."""
+    return all(isinstance(stmt, (ast.Pass, ast.Continue))
+               or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+               for stmt in body)
+
+
+@register_rule
+class SilentExceptionSwallowRule(LintRule):
+    """R006: no silently-swallowing broad exception handlers in ``repro``.
+
+    A ``bare except:`` / ``except Exception:`` / ``except BaseException:``
+    whose body is only ``pass``/``continue``/a constant hides *every* failure
+    mode at once — including the crash/timeout/corruption classes the
+    execution engine exists to surface, classify and retry.  Exactly this
+    pattern turns a worker's real defect into a silent wrong result.  Narrow
+    handlers (``except FileNotFoundError: pass``) stay legal: they document
+    the one expected failure.  Deliberate broad swallows (e.g. best-effort
+    cleanup) must say so with ``# repro: noqa[R006]``.  Files outside the
+    ``repro`` package are exempt.
+    """
+
+    rule_id = "R006"
+    severity = ERROR
+    description = ("bare/broad except handler silently swallows all failures "
+                   "(pass/continue body); catch the specific exception or "
+                   "handle it")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "repro" not in ctx.path.parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = _broad_handler_label(node)
+            if label is None or not _is_silent_body(node.body):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{label} with a pass/continue body swallows every failure "
+                "silently — crashes, timeouts and corruption included; catch "
+                "the specific exception, or mark deliberate best-effort "
+                "cleanup with # repro: noqa[R006]")

@@ -1,0 +1,50 @@
+"""``repro.exec`` — the fault-tolerant sweep & sharded execution engine.
+
+Cashes in the experiment registry (``repro.experiments.api``): once a
+scenario is registered, ``repro sweep <id> --set lr=0.1,0.01 --set
+seed=0..4`` expands the ``--set`` lists/ranges into a config grid and runs
+every cell through a crash-isolated multiprocess worker pool.  The pieces:
+
+* :mod:`~repro.exec.grid` — ``--set`` expansion (lists, ``a..b`` ranges,
+  cartesian products), stable cell identities, ``--shard i/N`` splitting;
+* :mod:`~repro.exec.pool` — the subprocess worker pool: segfaults/OOM
+  kills/exceptions contained per cell, per-run timeout with terminate->kill
+  escalation, exponential-backoff retries with deterministic jitter, and a
+  trusted in-process mode (``workers=0``);
+* :mod:`~repro.exec.journal` — atomic on-disk journal of completed cells
+  (tmp file + ``os.replace``) enabling ``--resume`` after any kill;
+* :mod:`~repro.exec.faults` — the deterministic fault-injection harness
+  (``REPRO_FAULT=crash:p=0.3`` / ``hang`` / ``corrupt-artifact``) proving
+  the machinery above actually works;
+* :mod:`~repro.exec.report` — structured PASS/FAIL/TIMEOUT/RETRIED
+  reporting, ``report.json``, and the ``repro results`` metric index.
+
+``repro run-all`` is rebuilt on the same engine, so it inherits workers,
+timeouts, retries and resume for free.
+"""
+
+from .grid import GridCell, cell_key, expand_grid, parse_axis_values, shard_cells
+from .journal import SweepJournal, load_manifest, write_manifest
+from .pool import FAIL, PASS, SKIPPED, TIMEOUT, CellOutcome, execute
+from .report import (build_report, exit_code, index_results, render_report,
+                     render_results, write_report)
+
+__all__ = [
+    "GridCell",
+    "SweepJournal",
+    "CellOutcome",
+    "PASS", "FAIL", "TIMEOUT", "SKIPPED",
+    "build_report",
+    "cell_key",
+    "execute",
+    "exit_code",
+    "expand_grid",
+    "index_results",
+    "load_manifest",
+    "parse_axis_values",
+    "render_report",
+    "render_results",
+    "shard_cells",
+    "write_manifest",
+    "write_report",
+]

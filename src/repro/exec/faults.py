@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the sweep engine's own test suite.
+
+The robustness machinery in :mod:`repro.exec.pool` (subprocess isolation,
+timeout escalation, retries, journal validation) is only trustworthy if it is
+*exercised*: this module injects the three failure modes the pool must
+contain, on demand, inside worker subprocesses.
+
+Activation — an env spec (inherited by every worker) or a test-only hook::
+
+    REPRO_FAULT="crash:p=0.3"                      # SIGKILL the worker (OOM-kill shape)
+    REPRO_FAULT="hang:cell=seed=3,max_attempts=1"  # sleep forever; the pool's
+                                                   # per-run timeout must kill it
+    REPRO_FAULT="corrupt-artifact:cell=seed=1"     # tear the result handoff file
+    REPRO_FAULT="crash:p=0.3;hang:cell=seed=3"     # several faults at once
+
+    from repro.exec import faults
+    faults.set_fault_specs("crash:p=1.0")          # process-local override
+    faults.set_fault_specs(None)                   # back to the env var
+
+Options per spec: ``p`` (injection probability, default 1), ``cell``
+(substring match on the cell id, default every cell), ``max_attempts``
+(inject only while ``attempt <= max_attempts``, so retries recover),
+``seed`` (decision salt) and ``ignore_term`` (a hang that ignores SIGTERM,
+forcing the pool's terminate->kill escalation).
+
+Decisions are a pure function of ``(seed, kind, cell_id, attempt)`` — a
+SHA-256 hash mapped to a uniform draw — never the process RNG.  Injection
+therefore perturbs neither the experiment's sampling stream (a surviving
+attempt computes exactly what a fault-free run computes, which is what lets
+the test suite assert faulty-sweep == serial-fault-free-run equality) nor is
+it flaky: the same spec against the same grid injects the same faults on
+every machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+__all__ = ["FaultSpec", "parse_fault_specs", "active_specs", "set_fault_specs",
+           "decide", "should_inject", "maybe_inject_start",
+           "corrupt_artifact_active", "ENV_VAR"]
+
+ENV_VAR = "REPRO_FAULT"
+
+KINDS = ("crash", "hang", "corrupt-artifact")
+
+#: how long an injected hang sleeps — far beyond any sane ``--timeout``
+HANG_SECONDS = 3600.0
+
+#: process-local override installed by :func:`set_fault_specs` (test hook);
+#: ``None`` means "read the env var"
+_OVERRIDE: Optional[Tuple["FaultSpec", ...]] = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault directive."""
+
+    kind: str
+    p: float = 1.0
+    cell: Optional[str] = None
+    max_attempts: Optional[int] = None
+    seed: int = 0
+    ignore_term: bool = False
+
+    def applies(self, cell_id: str, attempt: int) -> bool:
+        """Whether this spec injects for ``cell_id``'s ``attempt`` (1-based)."""
+        if self.cell is not None and self.cell not in cell_id:
+            return False
+        if self.max_attempts is not None and attempt > self.max_attempts:
+            return False
+        return decide(self.seed, self.kind, cell_id, attempt) < self.p
+
+
+def decide(seed: int, kind: str, cell_id: str, attempt: int) -> float:
+    """The deterministic uniform draw in [0, 1) behind every injection decision."""
+    token = f"{seed}:{kind}:{cell_id}:{attempt}".encode("utf-8")
+    return int(hashlib.sha256(token).hexdigest()[:12], 16) / float(16 ** 12)
+
+
+def parse_fault_specs(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``kind[:opt=v,...][;kind...]`` spec string (empty -> no faults)."""
+    specs = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, options_text = part.partition(":")
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from {KINDS}")
+        options = {}
+        for option in options_text.split(",") if options_text else ():
+            name, sep, value = option.partition("=")
+            name = name.strip()
+            if not sep or not name:
+                raise ValueError(f"fault option {option!r} is not of the form key=value")
+            options[name] = value.strip()
+        unknown = set(options) - {"p", "cell", "max_attempts", "seed", "ignore_term"}
+        if unknown:
+            raise ValueError(f"unknown fault options for {kind!r}: {sorted(unknown)}")
+        specs.append(FaultSpec(
+            kind=kind,
+            p=float(options.get("p", 1.0)),
+            cell=options.get("cell"),
+            max_attempts=(int(options["max_attempts"])
+                          if "max_attempts" in options else None),
+            seed=int(options.get("seed", 0)),
+            ignore_term=options.get("ignore_term", "0") in ("1", "true", "yes")))
+    return tuple(specs)
+
+
+def set_fault_specs(specs: Union[None, str, Sequence[FaultSpec]]) -> None:
+    """Test-only hook: install a process-local fault spec override.
+
+    Accepts a spec string (parsed like the env var), a sequence of
+    :class:`FaultSpec`, or ``None`` to fall back to ``REPRO_FAULT``.  The
+    override is process state: forked workers inherit it, spawned workers do
+    not (they read the env var of their fresh interpreter).
+    """
+    global _OVERRIDE
+    if specs is None:
+        _OVERRIDE = None
+    elif isinstance(specs, str):
+        _OVERRIDE = parse_fault_specs(specs)
+    else:
+        _OVERRIDE = tuple(specs)
+
+
+def active_specs() -> Tuple[FaultSpec, ...]:
+    """The fault specs in force: the test hook if installed, else ``REPRO_FAULT``."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return parse_fault_specs(os.environ.get(ENV_VAR, ""))
+
+
+def should_inject(kind: str, cell_id: str, attempt: int) -> Optional[FaultSpec]:
+    """The first active spec of ``kind`` that injects for this cell/attempt."""
+    for spec in active_specs():
+        if spec.kind == kind and spec.applies(cell_id, attempt):
+            return spec
+    return None
+
+
+def maybe_inject_start(cell_id: str, attempt: int) -> None:
+    """Run-start injection point (called inside the worker subprocess).
+
+    ``crash`` SIGKILLs the worker — indistinguishable from an OOM kill, the
+    exact failure the pool classifies by negative exit code.  ``hang`` sleeps
+    past any timeout (optionally ignoring SIGTERM to force the pool's kill
+    escalation).  Both fire *before* the experiment runs, so a surviving
+    attempt's RNG stream is untouched.
+    """
+    if should_inject("crash", cell_id, attempt) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    spec = should_inject("hang", cell_id, attempt)
+    if spec is not None:
+        if spec.ignore_term:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(HANG_SECONDS)
+
+
+def corrupt_artifact_active(cell_id: str, attempt: int) -> bool:
+    """Whether this attempt's result handoff file should be torn mid-write."""
+    return should_inject("corrupt-artifact", cell_id, attempt) is not None

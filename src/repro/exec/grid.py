@@ -1,0 +1,135 @@
+"""``--set`` grid expansion for ``repro sweep``.
+
+One ``--set key=spec`` argument contributes one *axis* to the sweep grid:
+
+* ``--set lr=0.1,0.01`` — a comma-separated value list;
+* ``--set seed=0..4`` — an inclusive integer range (``0,1,2,3,4``;
+  descending ranges like ``4..0`` count down);
+* ``--set suite=mnist`` — a single value (a one-point axis), so a sweep
+  over a single-value grid degenerates to exactly one ``repro run``.
+
+The grid is the cartesian product of all axes, enumerated with the *last*
+``--set`` flag varying fastest (nested loops in the order given).  Values
+stay strings here — each worker coerces them against the experiment's config
+field types via ``BaseExperimentConfig.with_overrides``, exactly as
+``repro run --set`` does, so sweep cells and single runs parse identically.
+
+Every cell carries a stable identity: ``cell_id`` is the human-readable
+``key=value`` join and ``key`` is a content hash of ``(experiment id, fast,
+overrides)`` used for journal filenames — relaunching the same grid maps
+each cell to the same journal entry, which is what makes ``--resume`` work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["GridCell", "expand_grid", "parse_axis_values", "parse_grid_axes",
+           "parse_shard", "shard_cells", "cell_key"]
+
+_RANGE_RE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
+
+
+def parse_axis_values(raw: str) -> Tuple[str, ...]:
+    """Expand one ``--set`` value spec into its axis values (as strings)."""
+    raw = raw.strip()
+    match = _RANGE_RE.match(raw)
+    if match:
+        start, stop = int(match.group(1)), int(match.group(2))
+        step = 1 if stop >= start else -1
+        return tuple(str(v) for v in range(start, stop + step, step))
+    values = tuple(part.strip() for part in raw.split(","))
+    if any(not part for part in values):
+        raise ValueError(f"empty value in --set list {raw!r}")
+    return values
+
+
+def parse_grid_axes(set_args: Sequence[str]) -> Dict[str, Tuple[str, ...]]:
+    """Parse repeated ``--set key=spec`` arguments into ordered grid axes.
+
+    Repeating a key replaces its earlier axis (last wins, matching
+    ``parse_overrides``); the replacement keeps the key's original position
+    so the enumeration order stays predictable.
+    """
+    axes: Dict[str, Tuple[str, ...]] = {}
+    for pair in set_args:
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"--set {pair!r} is not of the form key=value[,value...]")
+        axes[key] = parse_axis_values(value)
+    return axes
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One point of the expanded sweep grid."""
+
+    index: int
+    experiment_id: str
+    overrides: Mapping[str, str]
+    fast: bool = False
+    #: human-readable identity, e.g. ``"lr=0.1,seed=3"`` (empty grid: ``"<defaults>"``)
+    cell_id: str = ""
+    #: content hash of (experiment_id, fast, overrides) — the journal filename stem
+    key: str = ""
+
+
+def cell_key(experiment_id: str, overrides: Mapping[str, str], fast: bool) -> str:
+    """Stable content hash identifying one cell across sweep relaunches."""
+    canonical = json.dumps(
+        {"experiment_id": experiment_id, "fast": bool(fast),
+         "overrides": {k: str(v) for k, v in sorted(overrides.items())}},
+        sort_keys=True)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def expand_grid(experiment_id: str, set_args: Sequence[str], *, fast: bool = False,
+                base_overrides: Optional[Mapping[str, str]] = None) -> List[GridCell]:
+    """Expand ``--set`` arguments into the full list of grid cells.
+
+    ``base_overrides`` (e.g. a ``--seed`` flag) apply to every cell but are
+    shadowed by a grid axis of the same name.  With no axes at all the grid
+    is the single default-config cell.
+    """
+    axes = parse_grid_axes(set_args)
+    base = {k: str(v) for k, v in (base_overrides or {}).items() if k not in axes}
+    keys = list(axes)
+    cells: List[GridCell] = []
+    for index, values in enumerate(itertools.product(*(axes[k] for k in keys))):
+        overrides = dict(base)
+        overrides.update(zip(keys, values))
+        cell_id = ",".join(f"{k}={v}" for k, v in zip(keys, values)) or "<defaults>"
+        cells.append(GridCell(index=index, experiment_id=experiment_id,
+                              overrides=overrides, fast=fast, cell_id=cell_id,
+                              key=cell_key(experiment_id, overrides, fast)))
+    return cells
+
+
+def parse_shard(spec: Optional[str], num_cells: int) -> Tuple[int, int]:
+    """Parse a ``--shard i/N`` spec (1-based, as CI matrices spell it).
+
+    Returns ``(index, count)`` with ``1 <= index <= count``; shard ``i/N``
+    owns the cells whose grid index is congruent to ``i - 1`` modulo ``N``,
+    so the N shards partition any grid without coordination.
+    """
+    if spec is None:
+        return (1, 1)
+    match = re.match(r"^(\d+)/(\d+)$", spec.strip())
+    if not match:
+        raise ValueError(f"--shard {spec!r} is not of the form i/N (e.g. 1/4)")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"--shard {spec!r}: need 1 <= i <= N")
+    return (index, count)
+
+
+def shard_cells(cells: Sequence[GridCell], spec: Optional[str]) -> List[GridCell]:
+    """The subset of ``cells`` owned by shard ``spec`` (all cells when None)."""
+    index, count = parse_shard(spec, len(cells))
+    return [cell for cell in cells if cell.index % count == index - 1]

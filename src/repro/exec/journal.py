@@ -1,0 +1,97 @@
+"""The on-disk sweep journal: atomic per-cell results, manifest, resume scan.
+
+A sweep directory looks like::
+
+    <sweep-dir>/
+      manifest.json          # experiment id, grid axes, every cell's identity
+      journal/<key>.json     # one ExperimentResult artifact per completed cell
+      report.json            # the last execution's structured per-cell report
+      work/                  # transient worker handoff files (cleaned up)
+
+Journal entries are written with :meth:`ExperimentResult.write` — tmp file +
+``os.replace`` — so a sweep killed at any instant (including SIGKILL mid
+``write``) leaves either a complete entry or none.  ``--resume`` is then just
+a scan: cells whose key has a loadable journal entry are skipped; entries
+that fail to load (torn by something outside the atomic path, e.g. disk
+faults or the fault-injection harness) are deleted and their cells re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.api.base import ExperimentResult, ResultCorruptedError
+
+__all__ = ["SweepJournal", "write_manifest", "load_manifest", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class SweepJournal:
+    """Atomic per-cell result store under ``<root>/journal``."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "journal"
+
+    def path_for(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    # ---------------------------------------------------------------- writing
+    def record(self, key: str, result: ExperimentResult) -> Path:
+        """Atomically journal ``result`` as the completed run of cell ``key``."""
+        return result.write(self.path_for(key))
+
+    # ---------------------------------------------------------------- reading
+    def load(self, key: str) -> ExperimentResult:
+        return ExperimentResult.load(self.path_for(key))
+
+    def scan(self) -> Tuple[Dict[str, ExperimentResult], List[Path]]:
+        """All journal entries, split into loadable results and corrupt files.
+
+        Returns ``(valid, corrupt)``: ``valid`` maps cell key to its journaled
+        :class:`ExperimentResult`; ``corrupt`` lists entry files that exist
+        but cannot be loaded (torn or schema-invalid) — resume deletes those
+        and re-runs their cells rather than trusting half a result.
+        """
+        valid: Dict[str, ExperimentResult] = {}
+        corrupt: List[Path] = []
+        if not self.dir.is_dir():
+            return valid, corrupt
+        for path in sorted(self.dir.glob("*.json")):
+            try:
+                valid[path.stem] = ExperimentResult.load(path)
+            except (ResultCorruptedError, ValueError):
+                corrupt.append(path)
+        return valid, corrupt
+
+    def completed_keys(self) -> List[str]:
+        return sorted(self.scan()[0])
+
+
+# ------------------------------------------------------------------ manifest
+def write_manifest(root, manifest: dict) -> Path:
+    """Atomically write ``<root>/manifest.json``."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / "manifest.json"
+    payload = {"manifest_version": MANIFEST_VERSION, **manifest}
+    _atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(root) -> Optional[dict]:
+    """Load ``<root>/manifest.json`` (``None`` when absent)."""
+    path = Path(root) / "manifest.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

@@ -1,0 +1,379 @@
+"""Crash-isolated worker pool: the execution core of ``repro sweep``/``run-all``.
+
+Each grid cell runs in its **own subprocess** (``multiprocessing`` fork on
+POSIX, spawn as the portable/clean-slate alternative), so the one thing a
+cell cannot do is take the sweep down with it: a segfault or OOM kill shows
+up as a negative exit code, an unhandled exception as an error payload file,
+a hang as a blown per-run ``timeout`` (graceful SIGTERM, then SIGKILL after
+``kill_grace``) — all of them are *contained*, classified, and retried with
+exponential backoff + deterministic jitter up to the ``retries`` budget.
+
+Results are handed off through files, not pipes: a worker atomically writes
+its :class:`ExperimentResult` JSON (or an error payload) under
+``<root>/work/`` and the parent validates the artifact by loading it before
+journaling — a torn handoff is detected (:class:`ResultCorruptedError`) and
+treated as one more transient failure.  Because every worker seeds from its
+own cell config (``config.seed_all()`` inside the runner, enforced by lint
+rule R004), a parallel sweep journals byte-identical metrics to a serial one.
+
+``workers=0`` selects the trusted in-process executor: cells run serially in
+the parent (no isolation, no timeout) with the same retry/journal/reporting
+machinery — this is the path ``repro run-all`` uses by default and the
+fault-free serial reference the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..experiments.api.base import ExperimentResult, ResultCorruptedError
+from . import faults
+from .grid import GridCell
+from .journal import SweepJournal
+
+__all__ = ["CellOutcome", "execute", "PASS", "FAIL", "TIMEOUT", "SKIPPED",
+           "default_start_method"]
+
+PASS = "pass"
+FAIL = "fail"
+TIMEOUT = "timeout"
+SKIPPED = "skipped"
+
+_POLL_SECONDS = 0.02
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap workers sharing warm imports), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one grid cell after skips, attempts and retries."""
+
+    cell: GridCell
+    status: str  # PASS / FAIL / TIMEOUT / SKIPPED
+    attempts: int
+    total_seconds: float = 0.0
+    error: Optional[str] = None
+    result: Optional[ExperimentResult] = field(default=None, repr=False)
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (PASS, SKIPPED)
+
+
+# --------------------------------------------------------------------------
+# Worker subprocess entry point.
+# --------------------------------------------------------------------------
+def _atomic_write_text(path: str, text: str) -> None:
+    tmp = f"{path}.{os.getpid()}.tmp"
+    Path(tmp).write_text(text)
+    os.replace(tmp, path)
+
+
+def _child_main(payload: Mapping) -> None:
+    """Run one cell attempt inside the worker subprocess.
+
+    Writes either the result artifact to ``result_path`` (atomically, unless
+    the ``corrupt-artifact`` fault tears it) or an error payload to
+    ``error_path`` and exits 1.  Crashes and hangs injected by
+    :mod:`repro.exec.faults` fire before the experiment runs.
+    """
+    log_path = payload.get("log_path")
+    if log_path:
+        fd = os.open(log_path, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        os.dup2(fd, 1)
+        os.dup2(fd, 2)
+        os.close(fd)
+    try:
+        for name in payload["extra_imports"]:
+            importlib.import_module(name)
+        faults.maybe_inject_start(payload["cell_id"], payload["attempt"])
+        from ..experiments.api.registry import find_experiment
+
+        spec = find_experiment(payload["experiment_id"])
+        result = spec.run(fast=payload["fast"], overrides=dict(payload["overrides"]))
+        text = result.to_json() + "\n"
+        if faults.corrupt_artifact_active(payload["cell_id"], payload["attempt"]):
+            # simulate a torn non-atomic write: half the document, no replace
+            Path(payload["result_path"]).write_text(text[: max(1, len(text) // 2)])
+        else:
+            _atomic_write_text(payload["result_path"], text)
+    except Exception as exc:
+        _atomic_write_text(payload["error_path"], json.dumps({
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }))
+        sys.exit(1)
+
+
+# --------------------------------------------------------------------------
+# Parent-side scheduling.
+# --------------------------------------------------------------------------
+@dataclass
+class _Attempt:
+    cell: GridCell
+    attempt: int  # 1-based
+    ready_at: float = 0.0
+    elapsed_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    cell: GridCell
+    attempt: int
+    started: float
+    deadline: Optional[float]
+    result_path: str
+    error_path: str
+    log_path: str
+    elapsed_before: float
+
+
+def _backoff_delay(backoff: float, jitter: float, cell_id: str, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter (reproducible schedules)."""
+    return backoff * (2.0 ** (attempt - 1)) * (1.0 + jitter * faults.decide(
+        0, "backoff", cell_id, attempt))
+
+
+def _emit(on_event, kind: str, cell: GridCell, **info) -> None:
+    if on_event is not None:
+        on_event(kind, cell, **info)
+
+
+def _classify_exit(info: _Running) -> tuple:
+    """Map a finished worker to ``(result_or_None, error_or_None)``."""
+    error_path = Path(info.error_path)
+    if error_path.exists():
+        try:
+            payload = json.loads(error_path.read_text())
+            return None, f"{payload['type']}: {payload['message']}"
+        except (ValueError, KeyError):
+            return None, "worker failed (unreadable error payload)"
+    try:
+        return ExperimentResult.load(info.result_path), None
+    except FileNotFoundError:
+        return None, "worker exited without a result artifact"
+    except (ResultCorruptedError, ValueError) as exc:
+        return None, str(exc)
+
+
+def _terminate_then_kill(proc, kill_grace: float) -> None:
+    proc.terminate()
+    proc.join(kill_grace)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(10.0)
+
+
+def execute(cells: Sequence[GridCell], *, journal: Optional[SweepJournal] = None,
+            workers: int = 1, timeout: Optional[float] = None, retries: int = 0,
+            backoff: float = 0.5, jitter: float = 0.25, resume: bool = False,
+            start_method: Optional[str] = None, kill_grace: float = 1.0,
+            extra_imports: Sequence[str] = (),
+            resolve: Optional[Callable[[str], object]] = None,
+            on_event: Optional[Callable] = None) -> List[CellOutcome]:
+    """Run every cell to a terminal outcome; never raises on cell failure.
+
+    ``resume`` skips cells whose key already has a loadable journal entry
+    (corrupt entries are deleted and re-run).  ``workers >= 1`` is the
+    subprocess pool; ``workers=0`` runs in-process (``timeout`` unsupported
+    there — validate at the CLI).  ``resolve`` overrides experiment lookup
+    for the in-process executor only; subprocess workers always resolve
+    through the registry (plus ``extra_imports``).
+    """
+    if workers == 0 and timeout is not None:
+        raise ValueError("per-run timeouts need subprocess isolation: use workers >= 1")
+    outcomes: Dict[str, CellOutcome] = {}
+    pending: List[_Attempt] = []
+
+    skipped: Dict[str, ExperimentResult] = {}
+    if journal is not None and resume:
+        valid, corrupt = journal.scan()
+        for path in corrupt:
+            path.unlink()
+        skipped = valid
+    for cell in cells:
+        if cell.key in skipped:
+            outcome = CellOutcome(cell=cell, status=SKIPPED, attempts=0,
+                                  result=skipped[cell.key])
+            outcomes[cell.key] = outcome
+            _emit(on_event, "skip", cell, outcome=outcome)
+        else:
+            pending.append(_Attempt(cell=cell, attempt=1))
+
+    def finish(cell: GridCell, attempt: int, elapsed: float, *,
+               result: Optional[ExperimentResult] = None,
+               error: Optional[str] = None, timed_out: bool = False) -> None:
+        """Terminal-or-retry bookkeeping shared by both executors."""
+        if result is not None:
+            if journal is not None:
+                journal.record(cell.key, result)
+            outcome = CellOutcome(cell=cell, status=PASS, attempts=attempt,
+                                  total_seconds=elapsed, result=result)
+            outcomes[cell.key] = outcome
+            _emit(on_event, "pass", cell, outcome=outcome)
+            return
+        will_retry = attempt <= retries
+        delay = _backoff_delay(backoff, jitter, cell.cell_id, attempt) if will_retry else 0.0
+        _emit(on_event, "attempt-failed", cell, attempt=attempt, error=error,
+              will_retry=will_retry, delay=delay, timed_out=timed_out)
+        if will_retry:
+            pending.append(_Attempt(cell=cell, attempt=attempt + 1,
+                                    ready_at=time.monotonic() + delay,
+                                    elapsed_before=elapsed))
+        else:
+            outcome = CellOutcome(cell=cell, status=TIMEOUT if timed_out else FAIL,
+                                  attempts=attempt, total_seconds=elapsed, error=error)
+            outcomes[cell.key] = outcome
+            _emit(on_event, "fail", cell, outcome=outcome)
+
+    if workers == 0:
+        _execute_in_process(pending, finish, resolve=resolve, retries=retries,
+                            backoff=backoff, jitter=jitter)
+    else:
+        _execute_subprocess(pending, finish, journal=journal, workers=workers,
+                            timeout=timeout, start_method=start_method,
+                            kill_grace=kill_grace, extra_imports=extra_imports)
+    return [outcomes[cell.key] for cell in cells]
+
+
+def _execute_in_process(pending: List[_Attempt], finish, *, resolve, retries: int,
+                        backoff: float, jitter: float) -> None:
+    """Serial trusted executor: same retry/journal semantics, no isolation."""
+    if resolve is None:
+        from ..experiments.api.registry import find_experiment as resolve
+    while pending:
+        att = pending.pop(0)
+        wait = att.ready_at - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        started = time.perf_counter()
+        try:
+            spec = resolve(att.cell.experiment_id)
+            result = spec.run(fast=att.cell.fast, overrides=dict(att.cell.overrides))
+        except Exception as exc:
+            elapsed = att.elapsed_before + (time.perf_counter() - started)
+            finish(att.cell, att.attempt, elapsed,
+                   error=f"{type(exc).__name__}: {exc}")
+        else:
+            elapsed = att.elapsed_before + (time.perf_counter() - started)
+            finish(att.cell, att.attempt, elapsed, result=result)
+
+
+def _execute_subprocess(pending: List[_Attempt], finish, *, journal, workers: int,
+                        timeout: Optional[float], start_method: Optional[str],
+                        kill_grace: float, extra_imports: Sequence[str]) -> None:
+    """The crash-isolated pool: launch, poll, classify, escalate, retry."""
+    ctx = multiprocessing.get_context(start_method or default_start_method())
+    if journal is not None:
+        work_root = journal.root / "work"
+    else:
+        work_root = Path(tempfile.mkdtemp(prefix="repro-exec-")) / "work"
+    if pending:
+        work_root.mkdir(parents=True, exist_ok=True)
+    parent_pid = os.getpid()
+    running: Dict[object, _Running] = {}
+
+    def launch(att: _Attempt) -> None:
+        stem = f"{att.cell.key}.p{parent_pid}.a{att.attempt}"
+        info = _Running(
+            cell=att.cell, attempt=att.attempt, started=time.monotonic(),
+            deadline=(time.monotonic() + timeout) if timeout is not None else None,
+            result_path=str(work_root / f"{stem}.json"),
+            error_path=str(work_root / f"{stem}.error.json"),
+            log_path=str(work_root / f"{stem}.log"),
+            elapsed_before=att.elapsed_before)
+        payload = {
+            "experiment_id": att.cell.experiment_id,
+            "overrides": dict(att.cell.overrides),
+            "fast": att.cell.fast,
+            "cell_id": att.cell.cell_id,
+            "attempt": att.attempt,
+            "extra_imports": list(extra_imports),
+            "result_path": info.result_path,
+            "error_path": info.error_path,
+            "log_path": info.log_path,
+        }
+        proc = ctx.Process(target=_child_main, args=(payload,), daemon=True)
+        proc.start()
+        running[proc] = info
+
+    def reap(proc, info: _Running, *, timed_out: bool) -> None:
+        elapsed = info.elapsed_before + (time.monotonic() - info.started)
+        if timed_out:
+            error = (f"timed out after {timeout:g}s "
+                     f"(terminated, killed after {kill_grace:g}s grace)")
+            result = None
+        else:
+            exitcode = proc.exitcode
+            if exitcode == 0:
+                result, error = _classify_exit(info)
+            elif exitcode is not None and exitcode < 0:
+                result, error = None, f"worker killed by signal {-exitcode} (crash/OOM)"
+            else:
+                result, error = _classify_exit(info)
+                if result is not None:  # nonzero exit yet a valid artifact: distrust it
+                    result, error = None, f"worker exited with code {exitcode}"
+                elif error is None:
+                    error = f"worker exited with code {exitcode}"
+        for path in (info.result_path, info.error_path):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                # expected: each attempt writes exactly one of the two files
+                continue
+        if result is not None:
+            try:
+                os.unlink(info.log_path)  # keep logs only for failed attempts
+            except FileNotFoundError:
+                pass  # absent log: the worker wrote nothing
+        finish(info.cell, info.attempt, elapsed, result=result, error=error,
+               timed_out=timed_out)
+
+    while pending or running:
+        now = time.monotonic()
+        while len(running) < workers:
+            index = next((i for i, att in enumerate(pending) if att.ready_at <= now),
+                         None)
+            if index is None:
+                break
+            launch(pending.pop(index))
+        progressed = False
+        for proc in list(running):
+            info = running[proc]
+            if proc.is_alive():
+                if info.deadline is not None and time.monotonic() >= info.deadline:
+                    _terminate_then_kill(proc, kill_grace)
+                    del running[proc]
+                    reap(proc, info, timed_out=True)
+                    proc.close()
+                    progressed = True
+                continue
+            proc.join()
+            del running[proc]
+            reap(proc, info, timed_out=False)
+            proc.close()
+            progressed = True
+        if not progressed and (running or pending):
+            time.sleep(_POLL_SECONDS)
+    try:
+        work_root.rmdir()  # only succeeds when no logs were left behind
+    except OSError:
+        pass  # non-empty (failure logs kept for debugging) or never created

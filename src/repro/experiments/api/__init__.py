@@ -21,17 +21,20 @@ populates the registry with the six paper artefacts E1-E6.
 """
 
 from .base import (SCHEMA_VERSION, BaseExperimentConfig, ExperimentResult,
-                   parse_name_list, parse_overrides, warn_deprecated_entry_point)
-from .registry import (ExperimentSpec, all_experiments, experiment_ids, get_experiment,
-                       register, run_experiment)
+                   ResultCorruptedError, parse_name_list, parse_overrides,
+                   warn_deprecated_entry_point)
+from .registry import (ExperimentSpec, all_experiments, experiment_ids,
+                       find_experiment, get_experiment, register, run_experiment)
 
 __all__ = [
     "SCHEMA_VERSION",
     "BaseExperimentConfig",
     "ExperimentResult",
     "ExperimentSpec",
+    "ResultCorruptedError",
     "all_experiments",
     "experiment_ids",
+    "find_experiment",
     "get_experiment",
     "parse_name_list",
     "parse_overrides",

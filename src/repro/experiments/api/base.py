@@ -13,6 +13,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 import json
+import os
 import warnings
 from dataclasses import dataclass, field, fields
 from pathlib import Path
@@ -23,10 +24,26 @@ import numpy as np
 from ... import ppl
 
 __all__ = ["SCHEMA_VERSION", "BaseExperimentConfig", "ExperimentResult",
-           "parse_name_list", "parse_overrides", "warn_deprecated_entry_point"]
+           "ResultCorruptedError", "parse_name_list", "parse_overrides",
+           "warn_deprecated_entry_point"]
 
 #: Version of the JSON artifact layout written by :meth:`ExperimentResult.to_json`.
 SCHEMA_VERSION = 1
+
+
+class ResultCorruptedError(ValueError):
+    """A result artifact on disk is truncated or not valid JSON.
+
+    Raised by :meth:`ExperimentResult.load` instead of a bare
+    ``json.JSONDecodeError`` so callers (the sweep journal's resume scan, the
+    worker pool's result validation) can tell "this file was torn mid-write"
+    apart from genuine schema errors and re-run the producing cell.
+    """
+
+    def __init__(self, path, detail: str):
+        self.path = Path(path)
+        self.detail = detail
+        super().__init__(f"corrupted result artifact {self.path}: {detail}")
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on"})
 _FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
@@ -249,12 +266,28 @@ class ExperimentResult:
                    schema_version=payload["schema_version"])
 
     def write(self, path) -> Path:
-        """Write the JSON artifact to ``path``, creating parent directories."""
+        """Atomically write the JSON artifact to ``path``.
+
+        The payload goes to a same-directory ``*.tmp`` file first and is
+        moved into place with ``os.replace``, so a reader (or a resumed
+        sweep) never observes a torn half-written artifact: the target path
+        either holds the previous content or the complete new document.  The
+        tmp name embeds the writer's pid so concurrent writers of the same
+        target cannot clobber each other's staging file.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
+        tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(self.to_json() + "\n")
+        os.replace(tmp, path)
         return path
 
     @classmethod
     def load(cls, path) -> "ExperimentResult":
-        return cls.from_json(Path(path).read_text())
+        """Load an artifact, raising :class:`ResultCorruptedError` on torn files."""
+        path = Path(path)
+        text = path.read_text()
+        try:
+            return cls.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise ResultCorruptedError(path, str(exc)) from exc

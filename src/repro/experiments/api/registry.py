@@ -27,8 +27,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from .base import BaseExperimentConfig, ExperimentResult
 
-__all__ = ["ExperimentSpec", "register", "get_experiment", "experiment_ids",
-           "all_experiments", "run_experiment"]
+__all__ = ["ExperimentSpec", "register", "get_experiment", "find_experiment",
+           "experiment_ids", "all_experiments", "run_experiment"]
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}
 
@@ -131,6 +131,19 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
     except KeyError:
         raise KeyError(f"unknown experiment id {experiment_id!r}; "
                        f"registered: {experiment_ids()}") from None
+
+
+def find_experiment(experiment_id: str) -> ExperimentSpec:
+    """Like :func:`get_experiment`, but skip the full registration sweep when possible.
+
+    Sweep worker subprocesses resolve their one experiment id over and over;
+    when the id is already registered (a built-in module was imported, or the
+    worker's ``extra_imports`` registered it) this avoids importing every
+    experiment module — and its heavyweight dependency graph — per worker.
+    """
+    if experiment_id in _REGISTRY:
+        return _REGISTRY[experiment_id]
+    return get_experiment(experiment_id)
 
 
 def experiment_ids() -> List[str]:

@@ -1,4 +1,4 @@
-"""Good/bad fixture coverage for every lint rule (R001-R005) and noqa handling."""
+"""Good/bad fixture coverage for every lint rule (R001-R006) and noqa handling."""
 
 import textwrap
 
@@ -20,7 +20,8 @@ def _rule_ids(findings):
 
 class TestFramework:
     def test_all_rules_registered(self):
-        assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004", "R005"]
+        assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004",
+                                                    "R005", "R006"]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -357,6 +358,94 @@ class TestR005SizedVectorizedContext:
                         return ppl.sample("z", d)
                     return net(x)
         """)
+        assert lint_file(path) == []
+
+
+class TestR006SilentExceptionSwallow:
+    def test_bare_except_pass_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def load(path):
+                try:
+                    return path.read_text()
+                except:
+                    pass
+        """, name="repro/mod.py")
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R006"]
+        assert "bare except:" in findings[0].message
+
+    def test_except_exception_pass_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def load(path):
+                try:
+                    return path.read_text()
+                except Exception:
+                    pass
+        """, name="repro/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R006"]
+
+    def test_broad_name_in_tuple_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def load(path):
+                try:
+                    return path.read_text()
+                except (ValueError, BaseException):
+                    pass
+        """, name="repro/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R006"]
+
+    def test_except_exception_continue_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def load(paths):
+                out = []
+                for path in paths:
+                    try:
+                        out.append(path.read_text())
+                    except Exception:
+                        continue
+                return out
+        """, name="repro/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R006"]
+
+    def test_narrow_except_pass_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            def unlink(path):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+        """, name="repro/mod.py")
+        assert lint_file(path) == []
+
+    def test_handled_broad_except_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            def run(fn, log):
+                try:
+                    return fn()
+                except Exception as exc:
+                    log.append(str(exc))
+                    raise
+        """, name="repro/mod.py")
+        assert lint_file(path) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(tmp_path, """
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except Exception:  # repro: noqa[R006]
+                    pass
+        """, name="repro/mod.py")
+        assert lint_file(path) == []
+
+    def test_files_outside_repro_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            def load(path):
+                try:
+                    return path.read_text()
+                except Exception:
+                    pass
+        """, name="thirdparty/mod.py")
         assert lint_file(path) == []
 
 

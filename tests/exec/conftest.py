@@ -1,0 +1,96 @@
+"""Fixtures for the execution-engine suite: a cheap registered toy experiment.
+
+The toy experiment is written to a real module file on ``sys.path`` (not
+defined inline) so that *worker subprocesses* can resolve it: forked workers
+inherit the parent's registry, and the CLI subprocess tests import it
+explicitly via ``repro sweep --import toysweep_mod`` with the module's
+directory on ``PYTHONPATH``.
+"""
+
+import importlib
+import sys
+import textwrap
+
+import pytest
+
+TOY_MODULE = "toysweep_mod"
+TOY_ID = "toy-sweep"
+
+TOY_SOURCE = '''
+"""Registered toy experiment for exercising the sweep engine in tests."""
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.api import BaseExperimentConfig, register
+
+
+@dataclass
+class ToySweepConfig(BaseExperimentConfig):
+    lr: float = 0.1
+    width: int = 2
+    sleep: float = 0.0
+
+    @classmethod
+    def fast(cls):
+        return cls(fast=True, width=1)
+
+
+def _validation_targets(config):
+    # keep the "every registered experiment validates" invariant intact even
+    # though the toy runner is RNG-trivial
+    import numpy as np
+
+    import repro.ppl as ppl
+    import repro.ppl.distributions as dist
+    from repro.analysis import ValidationTarget
+
+    def model():
+        w = ppl.sample("w", dist.Normal(0.0, 1.0))
+        ppl.sample("obs", dist.Normal(w, 1.0), obs=np.array(0.0))
+
+    def guide():
+        ppl.sample("w", dist.Delta(ppl.param("w_loc", np.array(0.0))))
+
+    return [ValidationTarget("toy-sweep", model, guide)]
+
+
+@register("toy-sweep", config_cls=ToySweepConfig, number="T1", artefact="Toy",
+          title="toy sweep target (cheap, deterministic)",
+          validation_targets=_validation_targets)
+def _toy_runner(config):
+    rng = config.seed_all()
+    if config.sleep:
+        time.sleep(config.sleep)
+    noise = float(rng.normal())
+    metrics = {
+        "loss": config.lr * config.width + 1e-3 * noise,
+        "noise": noise,
+        "width_sq": float(config.width ** 2),
+    }
+    return metrics, None
+'''
+
+
+@pytest.fixture(scope="session")
+def toy_experiment(tmp_path_factory):
+    """Register the toy experiment and return its (module, id, dir) handle."""
+    from repro.experiments.api.registry import _REGISTRY
+
+    module_dir = tmp_path_factory.mktemp("toyexp")
+    (module_dir / f"{TOY_MODULE}.py").write_text(textwrap.dedent(TOY_SOURCE))
+    sys.path.insert(0, str(module_dir))
+    if TOY_ID not in _REGISTRY:
+        importlib.import_module(TOY_MODULE)
+    return {"module": TOY_MODULE, "id": TOY_ID, "dir": module_dir}
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Each test starts (and ends) with fault injection fully disarmed."""
+    from repro.exec import faults
+
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.set_fault_specs(None)
+    yield
+    faults.set_fault_specs(None)

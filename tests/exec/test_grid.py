@@ -1,0 +1,109 @@
+"""Unit coverage for ``--set`` grid expansion, cell identity and sharding."""
+
+import pytest
+
+from repro.exec import cell_key, expand_grid, parse_axis_values, shard_cells
+from repro.exec.grid import parse_grid_axes, parse_shard
+
+
+class TestParseAxisValues:
+    def test_comma_list(self):
+        assert parse_axis_values("0.1,0.01,0.001") == ("0.1", "0.01", "0.001")
+
+    def test_single_value(self):
+        assert parse_axis_values("mnist") == ("mnist",)
+
+    def test_ascending_range_inclusive(self):
+        assert parse_axis_values("0..4") == ("0", "1", "2", "3", "4")
+
+    def test_descending_range(self):
+        assert parse_axis_values("4..2") == ("4", "3", "2")
+
+    def test_negative_range(self):
+        assert parse_axis_values("-2..1") == ("-2", "-1", "0", "1")
+
+    def test_degenerate_range(self):
+        assert parse_axis_values("3..3") == ("3",)
+
+    def test_values_are_stripped(self):
+        assert parse_axis_values(" 0.1 , 0.2 ") == ("0.1", "0.2")
+
+    def test_empty_list_entry_rejected(self):
+        with pytest.raises(ValueError, match="empty value"):
+            parse_axis_values("0.1,,0.2")
+
+
+class TestParseGridAxes:
+    def test_axes_keep_flag_order(self):
+        axes = parse_grid_axes(["lr=0.1,0.01", "seed=0..1"])
+        assert list(axes) == ["lr", "seed"]
+        assert axes["seed"] == ("0", "1")
+
+    def test_repeated_key_last_wins(self):
+        axes = parse_grid_axes(["lr=0.1", "seed=0", "lr=0.5,0.9"])
+        assert list(axes) == ["lr", "seed"]
+        assert axes["lr"] == ("0.5", "0.9")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_grid_axes(["no-equals-sign"])
+
+
+class TestExpandGrid:
+    def test_cartesian_product_last_axis_fastest(self):
+        cells = expand_grid("exp", ["a=1,2", "b=x,y"])
+        assert [c.cell_id for c in cells] == ["a=1,b=x", "a=1,b=y",
+                                             "a=2,b=x", "a=2,b=y"]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_no_axes_is_single_defaults_cell(self):
+        cells = expand_grid("exp", [])
+        assert len(cells) == 1
+        assert cells[0].cell_id == "<defaults>"
+        assert cells[0].overrides == {}
+
+    def test_base_overrides_apply_but_axes_shadow(self):
+        cells = expand_grid("exp", ["seed=0,1"],
+                            base_overrides={"seed": "9", "output_dir": "none"})
+        assert all(c.overrides["output_dir"] == "none" for c in cells)
+        assert [c.overrides["seed"] for c in cells] == ["0", "1"]
+
+    def test_keys_stable_across_relaunch(self):
+        first = expand_grid("exp", ["a=1,2"], fast=True)
+        second = expand_grid("exp", ["a=1,2"], fast=True)
+        assert [c.key for c in first] == [c.key for c in second]
+
+    def test_keys_distinguish_cells_fast_and_experiment(self):
+        cells = expand_grid("exp", ["a=1,2"])
+        assert len({c.key for c in cells}) == 2
+        assert (cell_key("exp", {"a": "1"}, fast=False)
+                != cell_key("exp", {"a": "1"}, fast=True))
+        assert (cell_key("exp", {"a": "1"}, fast=False)
+                != cell_key("other", {"a": "1"}, fast=False))
+
+    def test_key_order_insensitive_to_override_order(self):
+        assert (cell_key("exp", {"a": "1", "b": "2"}, fast=False)
+                == cell_key("exp", {"b": "2", "a": "1"}, fast=False))
+
+
+class TestSharding:
+    def test_none_spec_keeps_all_cells(self):
+        cells = expand_grid("exp", ["a=0..5"])
+        assert shard_cells(cells, None) == list(cells)
+
+    def test_shards_partition_the_grid(self):
+        cells = expand_grid("exp", ["a=0..6"])  # 7 cells over 3 shards
+        shards = [shard_cells(cells, f"{i}/3") for i in (1, 2, 3)]
+        assert [len(s) for s in shards] == [3, 2, 2]
+        seen = [c.key for shard in shards for c in shard]
+        assert sorted(seen) == sorted(c.key for c in cells)
+        assert len(set(seen)) == len(cells)
+
+    def test_parse_shard_validates(self):
+        assert parse_shard("2/4", 10) == (2, 4)
+        with pytest.raises(ValueError, match="i/N"):
+            parse_shard("2-4", 10)
+        with pytest.raises(ValueError, match="1 <= i <= N"):
+            parse_shard("5/4", 10)
+        with pytest.raises(ValueError, match="1 <= i <= N"):
+            parse_shard("0/4", 10)

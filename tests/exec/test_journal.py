@@ -1,0 +1,60 @@
+"""The sweep journal: atomic writes, corrupt-entry scanning, manifest round-trip."""
+
+from repro.exec import SweepJournal, load_manifest, write_manifest
+from repro.experiments.api import ExperimentResult
+
+
+def _result(experiment_id="exp", seed=0, loss=1.5):
+    return ExperimentResult(experiment_id=experiment_id,
+                            config={"seed": seed, "output_dir": None},
+                            metrics={"loss": loss}, wall_clock_seconds=0.01)
+
+
+class TestJournal:
+    def test_record_load_roundtrip(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("abc123", _result(loss=2.5))
+        loaded = journal.load("abc123")
+        assert loaded.metrics == {"loss": 2.5}
+        assert loaded.experiment_id == "exp"
+
+    def test_record_leaves_no_tmp_residue(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("abc123", _result())
+        assert [p.name for p in journal.dir.iterdir()] == ["abc123.json"]
+
+    def test_scan_splits_valid_and_corrupt(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("good1", _result(loss=1.0))
+        journal.record("good2", _result(loss=2.0))
+        # tear one entry the non-atomic way (half the document)
+        torn = journal.path_for("torn0")
+        text = _result().to_json()
+        torn.write_text(text[: len(text) // 2])
+        # and one that is valid JSON but not a valid artifact
+        journal.path_for("badschema").write_text('{"schema_version": 99}\n')
+        valid, corrupt = journal.scan()
+        assert sorted(valid) == ["good1", "good2"]
+        assert sorted(p.stem for p in corrupt) == ["badschema", "torn0"]
+        assert journal.completed_keys() == ["good1", "good2"]
+
+    def test_scan_on_missing_dir_is_empty(self, tmp_path):
+        valid, corrupt = SweepJournal(tmp_path / "nowhere").scan()
+        assert valid == {} and corrupt == []
+
+    def test_record_overwrites_atomically(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("k", _result(loss=1.0))
+        journal.record("k", _result(loss=9.0))
+        assert journal.load("k").metrics["loss"] == 9.0
+
+
+class TestManifest:
+    def test_roundtrip_and_version_stamp(self, tmp_path):
+        write_manifest(tmp_path, {"experiment_id": "exp", "cells": []})
+        manifest = load_manifest(tmp_path)
+        assert manifest["experiment_id"] == "exp"
+        assert manifest["manifest_version"] == 1
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert load_manifest(tmp_path / "nowhere") is None

@@ -1,0 +1,170 @@
+"""The worker pool: crash isolation, timeouts, retries, resume, both executors."""
+
+import pytest
+
+from repro.exec import (FAIL, PASS, SKIPPED, TIMEOUT, SweepJournal, execute,
+                        expand_grid)
+from repro.exec import faults
+from repro.experiments.api import ExperimentResult
+
+TOY_ID = "toy-sweep"
+
+
+def _cells(set_args, **kwargs):
+    return expand_grid(TOY_ID, set_args, **kwargs)
+
+
+class _FakeSpec:
+    """Minimal stand-in for ExperimentSpec usable via the resolve hook."""
+
+    def __init__(self, runner):
+        self._runner = runner
+
+    def run(self, fast=False, overrides=None):
+        metrics = self._runner(dict(overrides or {}))
+        return ExperimentResult(experiment_id=TOY_ID, config=dict(overrides or {}),
+                                metrics=metrics, wall_clock_seconds=0.0)
+
+
+class TestInProcessExecutor:
+    def test_passes_and_journals(self, toy_experiment, tmp_path):
+        journal = SweepJournal(tmp_path)
+        outcomes = execute(_cells(["seed=0,1"]), journal=journal, workers=0)
+        assert [o.status for o in outcomes] == [PASS, PASS]
+        assert journal.completed_keys() == sorted(c.key for c in _cells(["seed=0,1"]))
+
+    def test_failure_retries_then_passes(self, tmp_path):
+        calls = []
+
+        def flaky(overrides):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return {"m": 1.0}
+
+        events = []
+        outcomes = execute(_cells([]), workers=0, retries=1, backoff=0.0,
+                           resolve=lambda _id: _FakeSpec(flaky),
+                           on_event=lambda kind, cell, **info: events.append(kind))
+        assert outcomes[0].status == PASS
+        assert outcomes[0].attempts == 2 and outcomes[0].retried
+        assert events == ["attempt-failed", "pass"]
+
+    def test_budget_exhausted_is_terminal_fail(self):
+        def boom(overrides):
+            raise RuntimeError("kaboom")
+
+        outcomes = execute(_cells([]), workers=0, retries=2, backoff=0.0,
+                           resolve=lambda _id: _FakeSpec(boom))
+        assert outcomes[0].status == FAIL
+        assert outcomes[0].attempts == 3
+        assert "RuntimeError: kaboom" in outcomes[0].error
+
+    def test_timeout_unsupported_in_process(self):
+        with pytest.raises(ValueError, match="workers >= 1"):
+            execute(_cells([]), workers=0, timeout=1.0)
+
+
+class TestSubprocessPool:
+    def test_parallel_matches_serial(self, toy_experiment, tmp_path):
+        cells = _cells(["seed=0..2", "lr=0.1,0.3"])
+        serial = SweepJournal(tmp_path / "serial")
+        parallel = SweepJournal(tmp_path / "parallel")
+        assert all(o.status == PASS
+                   for o in execute(cells, journal=serial, workers=0))
+        assert all(o.status == PASS
+                   for o in execute(cells, journal=parallel, workers=2))
+        serial_valid, _ = serial.scan()
+        parallel_valid, _ = parallel.scan()
+        assert sorted(serial_valid) == sorted(parallel_valid)
+        for key, result in serial_valid.items():
+            assert parallel_valid[key].metrics == result.metrics
+            assert parallel_valid[key].config == result.config
+
+    def test_outcomes_keep_input_order(self, toy_experiment):
+        cells = _cells(["seed=0..3"])
+        outcomes = execute(cells, workers=3)
+        assert [o.cell.key for o in outcomes] == [c.key for c in cells]
+
+    def test_worker_exception_is_contained(self, toy_experiment):
+        outcomes = execute(_cells(["nofield=1"]), workers=1)
+        assert outcomes[0].status == FAIL
+        assert "ValueError" in outcomes[0].error
+        assert "nofield" in outcomes[0].error
+
+    def test_crash_is_classified_and_fails_without_budget(self, toy_experiment):
+        faults.set_fault_specs("crash")
+        outcomes = execute(_cells([]), workers=1)
+        assert outcomes[0].status == FAIL
+        assert "signal 9" in outcomes[0].error
+
+    def test_crash_retried_to_success(self, toy_experiment, tmp_path):
+        faults.set_fault_specs("crash:max_attempts=1")
+        journal = SweepJournal(tmp_path)
+        outcomes = execute(_cells([]), journal=journal, workers=1, retries=1,
+                           backoff=0.01)
+        assert outcomes[0].status == PASS
+        assert outcomes[0].attempts == 2
+        assert journal.completed_keys() == [outcomes[0].cell.key]
+
+    def test_timeout_kills_and_reports(self, toy_experiment):
+        outcomes = execute(_cells(["sleep=30"]), workers=1, timeout=0.4,
+                           kill_grace=0.3)
+        assert outcomes[0].status == TIMEOUT
+        assert "timed out" in outcomes[0].error
+
+    def test_sigterm_ignoring_hang_forces_kill_escalation(self, toy_experiment):
+        faults.set_fault_specs("hang:ignore_term=1,max_attempts=1")
+        outcomes = execute(_cells([]), workers=1, timeout=0.4, kill_grace=0.3,
+                           retries=1, backoff=0.01)
+        assert outcomes[0].status == PASS
+        assert outcomes[0].attempts == 2
+
+    def test_torn_artifact_detected_and_retried(self, toy_experiment, tmp_path):
+        faults.set_fault_specs("corrupt-artifact:max_attempts=1")
+        events = []
+        outcomes = execute(_cells([]), journal=SweepJournal(tmp_path), workers=1,
+                           retries=1, backoff=0.01,
+                           on_event=lambda kind, cell, **info:
+                           events.append((kind, info.get("error"))))
+        assert outcomes[0].status == PASS and outcomes[0].attempts == 2
+        assert "corrupted result artifact" in events[0][1]
+
+    def test_torn_artifact_without_budget_fails(self, toy_experiment, tmp_path):
+        faults.set_fault_specs("corrupt-artifact")
+        journal = SweepJournal(tmp_path)
+        outcomes = execute(_cells([]), journal=journal, workers=1)
+        assert outcomes[0].status == FAIL
+        assert journal.completed_keys() == []
+
+
+class TestResume:
+    def test_resume_skips_journaled_cells(self, toy_experiment, tmp_path):
+        cells = _cells(["seed=0..2"])
+        journal = SweepJournal(tmp_path)
+        execute(cells[:2], journal=journal, workers=0)
+        outcomes = execute(cells, journal=journal, workers=0, resume=True)
+        assert [o.status for o in outcomes] == [SKIPPED, SKIPPED, PASS]
+        assert outcomes[0].attempts == 0
+        assert outcomes[0].result is not None  # skipped cells carry their result
+
+    def test_resume_deletes_and_reruns_corrupt_entries(self, toy_experiment,
+                                                       tmp_path):
+        cells = _cells(["seed=0,1"])
+        journal = SweepJournal(tmp_path)
+        execute(cells, journal=journal, workers=0)
+        good = journal.load(cells[0].key)
+        torn = journal.path_for(cells[1].key)
+        torn.write_text(torn.read_text()[:40])
+        outcomes = execute(cells, journal=journal, workers=0, resume=True)
+        assert [o.status for o in outcomes] == [SKIPPED, PASS]
+        # the re-run cell was journaled afresh; the good one was untouched
+        assert journal.load(cells[1].key).metrics
+        assert journal.load(cells[0].key).metrics == good.metrics
+
+    def test_without_resume_cells_rerun(self, toy_experiment, tmp_path):
+        cells = _cells([])
+        journal = SweepJournal(tmp_path)
+        execute(cells, journal=journal, workers=0)
+        outcomes = execute(cells, journal=journal, workers=0)
+        assert outcomes[0].status == PASS and outcomes[0].attempts == 1

@@ -1,0 +1,200 @@
+"""``repro sweep`` / ``repro results`` through the CLI, including kill/resume.
+
+Most tests drive :func:`repro.experiments.api.cli.main` in-process; the
+mid-flight SIGKILL test launches the real console script in a subprocess,
+kills it dead between journal writes, and resumes — the acceptance scenario
+for the journal's crash-safety contract.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exec import SweepJournal, expand_grid
+from repro.experiments.api import run_experiment
+from repro.experiments.api.cli import main
+
+TOY_ID = "toy-sweep"
+TOY_MODULE = "toysweep_mod"
+
+
+def _normalized(text):
+    payload = json.loads(text)
+    payload["wall_clock_seconds"] = 0.0
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestSweepCommand:
+    def test_grid_sweep_journals_and_reports(self, toy_experiment, tmp_path,
+                                             capsys):
+        sweep_dir = tmp_path / "sw"
+        argv = ["sweep", TOY_ID, "--set", "seed=0..1", "--set", "lr=0.1,0.2",
+                "--workers", "2", "--sweep-dir", str(sweep_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out and out.count("PASS") == 4
+        assert len(SweepJournal(sweep_dir).completed_keys()) == 4
+        report = json.loads((sweep_dir / "report.json").read_text())
+        assert report["counts"] == {"pass": 4}
+        manifest = json.loads((sweep_dir / "manifest.json").read_text())
+        assert manifest["grid"] == {"seed": ["0", "1"], "lr": ["0.1", "0.2"]}
+
+    def test_single_value_grid_matches_repro_run_byte_for_byte(
+            self, toy_experiment, tmp_path):
+        sweep_dir = tmp_path / "sw"
+        assert main(["sweep", TOY_ID, "--set", "lr=0.25", "--seed", "7",
+                     "--workers", "0", "--sweep-dir", str(sweep_dir)]) == 0
+        journal = SweepJournal(sweep_dir)
+        (key,) = journal.completed_keys()
+        sweep_text = journal.path_for(key).read_text()
+
+        run_result = run_experiment(TOY_ID, overrides={
+            "lr": "0.25", "seed": "7", "output_dir": "none"})
+        assert _normalized(sweep_text) == _normalized(run_result.to_json())
+
+    def test_failing_cells_exit_1(self, toy_experiment, tmp_path, capsys):
+        sweep_dir = tmp_path / "sw"
+        assert main(["sweep", TOY_ID, "--set", "nofield=1,2", "--retries", "0",
+                     "--workers", "1", "--sweep-dir", str(sweep_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "nofield" in captured.err
+
+    def test_unknown_id_exits_2(self, capsys):
+        assert main(["sweep", "fig9-unknown"]) == 2
+        assert "fig9-unknown" in capsys.readouterr().err
+
+    def test_bad_shard_exits_2(self, toy_experiment, tmp_path, capsys):
+        assert main(["sweep", TOY_ID, "--shard", "9/4",
+                     "--sweep-dir", str(tmp_path / "sw")]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_workers0_with_timeout_exits_2(self, toy_experiment, tmp_path,
+                                           capsys):
+        assert main(["sweep", TOY_ID, "--workers", "0", "--timeout", "5",
+                     "--sweep-dir", str(tmp_path / "sw")]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_reused_dir_with_different_grid_exits_2(self, toy_experiment,
+                                                    tmp_path, capsys):
+        sweep_dir = tmp_path / "sw"
+        assert main(["sweep", TOY_ID, "--set", "seed=0,1", "--workers", "0",
+                     "--sweep-dir", str(sweep_dir)]) == 0
+        assert main(["sweep", TOY_ID, "--set", "seed=5,6", "--workers", "0",
+                     "--sweep-dir", str(sweep_dir)]) == 2
+        assert "different grid" in capsys.readouterr().err
+
+    def test_shards_cover_grid_between_invocations(self, toy_experiment,
+                                                   tmp_path):
+        sweep_dir = tmp_path / "sw"
+        base = ["sweep", TOY_ID, "--set", "seed=0..4", "--workers", "0",
+                "--sweep-dir", str(sweep_dir)]
+        assert main(base + ["--shard", "1/2"]) == 0
+        journal = SweepJournal(sweep_dir)
+        assert len(journal.completed_keys()) == 3  # cells 0, 2, 4
+        assert main(base + ["--shard", "2/2"]) == 0
+        cells = expand_grid(TOY_ID, ["seed=0..4"],
+                            base_overrides={"output_dir": "none"})
+        assert sorted(journal.completed_keys()) == sorted(c.key for c in cells)
+
+
+class TestResultsCommand:
+    @pytest.fixture()
+    def sweep_dir(self, toy_experiment, tmp_path):
+        path = tmp_path / "sw"
+        assert main(["sweep", TOY_ID, "--set", "lr=0.1,0.2", "--workers", "0",
+                     "--sweep-dir", str(path)]) == 0
+        return path
+
+    def test_table_lists_cells_and_aggregates(self, sweep_dir, capsys):
+        capsys.readouterr()
+        assert main(["results", str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "lr=0.1" in out and "lr=0.2" in out
+        assert "loss" in out and "mean" in out
+
+    def test_metric_filter(self, sweep_dir, capsys):
+        capsys.readouterr()
+        assert main(["results", str(sweep_dir), "--metric", "loss"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out and "width_sq" not in out
+
+    def test_unknown_metric_exits_2(self, sweep_dir, capsys):
+        assert main(["results", str(sweep_dir), "--metric", "nope"]) == 2
+        assert "unknown metrics" in capsys.readouterr().err
+
+    def test_json_output_is_machine_readable(self, sweep_dir, capsys):
+        capsys.readouterr()
+        assert main(["results", str(sweep_dir), "--json"]) == 0
+        index = json.loads(capsys.readouterr().out)
+        assert index["experiment_id"] == TOY_ID
+        assert {row["status"] for row in index["rows"]} == {"done"}
+        assert index["aggregates"]["loss"]["n"] == 2
+
+    def test_partial_sweep_rows_marked_missing(self, toy_experiment, tmp_path,
+                                               capsys):
+        path = tmp_path / "partial"
+        assert main(["sweep", TOY_ID, "--set", "seed=0..3", "--shard", "1/2",
+                     "--workers", "0", "--sweep-dir", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["results", str(path), "--json"]) == 0
+        index = json.loads(capsys.readouterr().out)
+        statuses = [row["status"] for row in index["rows"]]
+        assert statuses.count("done") == 2 and statuses.count("missing") == 2
+
+    def test_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["results", str(tmp_path / "nope")]) == 2
+        assert "no such sweep directory" in capsys.readouterr().err
+
+
+class TestKillAndResume:
+    """SIGKILL the sweep mid-flight; --resume re-runs only unjournaled cells."""
+
+    def test_sigkill_then_resume_reruns_only_missing_cells(
+            self, toy_experiment, tmp_path, capsys):
+        sweep_dir = tmp_path / "sw"
+        grid = ["--set", "seed=0..5", "--set", "sleep=0.4"]
+        src = str(Path(repro.__file__).parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src, str(toy_experiment["dir"])]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.api.cli", "sweep", TOY_ID,
+             *grid, "--workers", "1", "--retries", "0",
+             "--sweep-dir", str(sweep_dir), "--import", TOY_MODULE],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        journal = SweepJournal(sweep_dir)
+        try:
+            deadline = time.monotonic() + 60.0
+            while len(journal.completed_keys()) < 2:
+                assert proc.poll() is None, "sweep finished before it was killed"
+                assert time.monotonic() < deadline, "no journal entries in time"
+                time.sleep(0.05)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        survivors = {path.name: path.stat().st_mtime_ns
+                     for path in journal.dir.glob("*.json")}
+        assert len(survivors) >= 2
+        # every surviving entry is complete and loadable (atomic writes)
+        valid, corrupt = journal.scan()
+        assert corrupt == [] and len(valid) == len(survivors)
+
+        assert main(["sweep", TOY_ID, *grid, "--workers", "0",
+                     "--sweep-dir", str(sweep_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("SKIP") == len(survivors)
+        assert out.count("PASS") == 6 - len(survivors)
+        assert len(journal.completed_keys()) == 6
+        # resumed run did not rewrite the surviving entries
+        for name, mtime_ns in survivors.items():
+            assert (journal.dir / name).stat().st_mtime_ns == mtime_ns

@@ -170,6 +170,112 @@ class TestRunAllRobustness:
         assert out.count("PASS") == 2 and "FAIL" not in out
 
 
+class TestRunFailureDiagnostics:
+    """A failing runner exits 1 with a one-line diagnostic, not a traceback."""
+
+    @staticmethod
+    def _patch_boom(monkeypatch):
+        from repro.experiments.api import cli
+        from repro.experiments.api.base import BaseExperimentConfig
+        from repro.experiments.api.registry import ExperimentSpec
+
+        def boom_runner(config):
+            raise RuntimeError("kaboom mid-run")
+
+        spec = ExperimentSpec(experiment_id="exp-boom",
+                              config_cls=BaseExperimentConfig, runner=boom_runner,
+                              number="E9", artefact="Test", title="boom")
+        monkeypatch.setattr(cli, "get_experiment", lambda _id: spec)
+
+    def test_runner_failure_exits_1_with_one_line(self, monkeypatch, capsys):
+        self._patch_boom(monkeypatch)
+        assert main(["run", "exp-boom", "--no-artifact"]) == 1
+        err = capsys.readouterr().err
+        assert "repro: exp-boom: RuntimeError: kaboom mid-run" in err
+        assert "Traceback" not in err
+
+    def test_verbose_keeps_the_traceback(self, monkeypatch, capsys):
+        self._patch_boom(monkeypatch)
+        assert main(["run", "exp-boom", "--no-artifact", "--verbose"]) == 1
+        err = capsys.readouterr().err
+        assert "Traceback (most recent call last)" in err
+        assert "repro: exp-boom: RuntimeError: kaboom mid-run" in err
+
+    def test_bad_arguments_still_exit_2(self, monkeypatch, capsys):
+        # config-building errors are usage errors (2), not runner failures (1)
+        self._patch_boom(monkeypatch)
+        assert main(["run", "exp-boom", "--set", "nofield=1"]) == 2
+
+
+class TestRunAllEngineFlags:
+    """run-all rides the execution engine: journal + resume, flag validation."""
+
+    def _specs(self, recorder):
+        from repro.experiments.api.base import BaseExperimentConfig
+        from repro.experiments.api.registry import ExperimentSpec
+
+        def make(experiment_id, number):
+            def runner(config):
+                recorder.append(experiment_id)
+                return {"m": 1.0}, None
+            return ExperimentSpec(experiment_id=experiment_id,
+                                  config_cls=BaseExperimentConfig, runner=runner,
+                                  number=number, artefact="Test", title="t")
+        return [make("exp-a", "E8"), make("exp-b", "E9")]
+
+    def _patch(self, monkeypatch, specs):
+        from repro.experiments.api import cli
+
+        monkeypatch.setattr(cli, "all_experiments", lambda: specs)
+
+    def test_resume_skips_journaled_experiments(self, monkeypatch, tmp_path,
+                                                capsys):
+        ran = []
+        self._patch(monkeypatch, self._specs(ran))
+        out_dir = str(tmp_path)
+        assert main(["run-all", "--output-dir", out_dir]) == 0
+        assert ran == ["exp-a", "exp-b"]
+        assert (tmp_path / ".run-all" / "journal" / "exp-a.json").exists()
+        capsys.readouterr()
+        assert main(["run-all", "--output-dir", out_dir, "--resume"]) == 0
+        assert ran == ["exp-a", "exp-b"]  # nothing re-ran
+        out = capsys.readouterr().out
+        assert "run-all: 2/2 experiments passed (2 journaled, skipped)" in out
+        assert out.count("SKIP") == 2
+
+    def test_resume_without_artifacts_exits_2(self, monkeypatch, capsys):
+        self._patch(monkeypatch, self._specs([]))
+        assert main(["run-all", "--no-artifact", "--resume"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_timeout_without_workers_exits_2(self, monkeypatch, capsys):
+        self._patch(monkeypatch, self._specs([]))
+        assert main(["run-all", "--no-artifact", "--timeout", "5"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_retries_recover_transient_failures(self, monkeypatch, capsys):
+        from repro.experiments.api.base import BaseExperimentConfig
+        from repro.experiments.api.registry import ExperimentSpec
+
+        calls = []
+
+        def flaky(config):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return {"m": 1.0}, None
+
+        spec = ExperimentSpec(experiment_id="exp-flaky",
+                              config_cls=BaseExperimentConfig, runner=flaky,
+                              number="E9", artefact="Test", title="t")
+        self._patch(monkeypatch, [spec])
+        assert main(["run-all", "--no-artifact", "--retries", "1",
+                     "--backoff", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "run-all: 1/1 experiments passed" in out
+        assert "PASS  exp-flaky (attempts=2)" in out
+
+
 def test_list_empty_registry_prints_friendly_message(monkeypatch, capsys):
     from repro.experiments.api import cli
 

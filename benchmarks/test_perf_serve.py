@@ -1,0 +1,148 @@
+"""Latency/throughput gate for the micro-batching serving layer.
+
+Workload: 128 single-row posterior-predictive requests that all arrive at
+once against a tiny fig1 snapshot (untrained — serving consumes no RNG, so
+the arithmetic per forward is identical either way).
+
+* **serial** baseline: the requests are answered one ``engine.predict`` call
+  at a time, in arrival order.  Each request's latency is its completion
+  time measured from the common arrival instant — exactly what a
+  single-worker, no-batching server would deliver.
+* **coalesced**: the same 128 requests submitted concurrently through
+  ``MicroBatcher`` (``max_batch=32``), which folds them into ~4 stacked
+  ``vectorized_forward`` calls.
+
+The engine pads every batch to a fixed ``block_rows`` shape, so a serial
+1-row forward costs the same wall clock as one 32-row batch — the speedup
+measured here is pure coalescing, not a shape artifact, and the per-request
+payloads are asserted bit-identical between the two paths.
+
+Gates: coalesced total wall clock >= 3x faster than serial, at
+equal-or-better p99 latency.  ``REPRO_PERF_RELAX=1`` relaxes both gates to
+skips (the bit-identity assertion still runs).  Results extend the
+``BENCH_serve.json`` trajectory.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.serve import MicroBatcher, create_snapshot, PredictionEngine
+
+from _harness import record_bench_entry
+
+NUM_REQUESTS = 128
+MAX_BATCH = 32
+MAX_WAIT_MS = 5.0
+REQUIRED_THROUGHPUT_SPEEDUP = 3.0
+REQUIRED_P99_RATIO = 1.0  # serial p99 / coalesced p99 must be >= 1 (no worse)
+
+TINY_FIG1 = {"n_per_cluster": 6, "num_epochs": 1, "hidden_units": 8,
+             "num_predictions": 2}
+
+
+def _build_engine():
+    snapshot = create_snapshot("fig1-regression", fast=True,
+                               overrides=TINY_FIG1, num_samples=16,
+                               trained=False)
+    return PredictionEngine.from_snapshot(snapshot, block_rows=MAX_BATCH)
+
+
+def _request_trace():
+    """A fixed, RNG-free trace of single-row regression inputs."""
+    grid = np.linspace(-2.0, 2.0, NUM_REQUESTS).reshape(-1, 1)
+    return [grid[i:i + 1] for i in range(NUM_REQUESTS)]
+
+
+def _serial(engine, trace):
+    """Answer the simultaneously-arrived trace one request at a time."""
+    responses = []
+    latencies = []
+    start = time.perf_counter()
+    for rows in trace:
+        responses.append(engine.predict(rows))
+        latencies.append(time.perf_counter() - start)
+    return responses, time.perf_counter() - start, latencies
+
+
+def _coalesced(engine, trace):
+    """Answer the same trace through the micro-batching broker."""
+
+    async def go():
+        batcher = MicroBatcher(engine, max_batch=MAX_BATCH,
+                               max_wait_ms=MAX_WAIT_MS)
+        start = time.perf_counter()
+        latencies = [0.0] * len(trace)
+
+        async def one(i, rows):
+            response = await batcher.submit(rows)
+            latencies[i] = time.perf_counter() - start
+            return response
+
+        responses = await asyncio.gather(
+            *[one(i, rows) for i, rows in enumerate(trace)])
+        total = time.perf_counter() - start
+        await batcher.close()
+        return responses, total, latencies, batcher.counters.batches
+
+    return asyncio.run(go())
+
+
+def _p99_ms(latencies):
+    return float(np.percentile(np.asarray(latencies) * 1000.0, 99.0))
+
+
+REPEATS = 3  # the measured windows are tens of ms; take the best of 3
+
+
+def test_micro_batching_throughput_and_p99(speedup_gate):
+    engine = _build_engine()
+    trace = _request_trace()
+
+    serial_runs = [_serial(engine, trace) for _ in range(REPEATS)]
+    coalesced_runs = [_coalesced(engine, trace) for _ in range(REPEATS)]
+    serial_responses, serial_total, serial_lat = min(
+        serial_runs, key=lambda run: run[1])
+    coalesced_responses, coalesced_total, coalesced_lat, batches = min(
+        coalesced_runs, key=lambda run: run[1])
+
+    # the broker must actually coalesce, and must not change a single byte
+    assert batches < NUM_REQUESTS
+    for serial_r, coalesced_r in zip(serial_responses, coalesced_responses):
+        assert serial_r.mean.tobytes() == coalesced_r.mean.tobytes()
+        assert serial_r.std.tobytes() == coalesced_r.std.tobytes()
+        assert serial_r.lo.tobytes() == coalesced_r.lo.tobytes()
+        assert serial_r.hi.tobytes() == coalesced_r.hi.tobytes()
+
+    throughput_speedup = serial_total / coalesced_total
+    serial_p99 = _p99_ms(serial_lat)
+    coalesced_p99 = _p99_ms(coalesced_lat)
+    p99_ratio = serial_p99 / coalesced_p99
+
+    record_bench_entry("serve", "simultaneous_single_row_burst", {
+        "experiment_id": "fig1-regression",
+        "num_requests": NUM_REQUESTS,
+        "max_batch": MAX_BATCH,
+        "max_wait_ms": MAX_WAIT_MS,
+        "num_batches_coalesced": batches,
+        "serial_seconds": serial_total,
+        "coalesced_seconds": coalesced_total,
+        "throughput_speedup": throughput_speedup,
+        "required_throughput_speedup": REQUIRED_THROUGHPUT_SPEEDUP,
+        "serial_p99_ms": serial_p99,
+        "coalesced_p99_ms": coalesced_p99,
+        "p99_ratio": p99_ratio,
+        "required_p99_ratio": REQUIRED_P99_RATIO,
+        "speedup_definition": ("best-of-3 wall clock to answer 128 "
+                               "simultaneously-arrived single-row requests, "
+                               "sequential predict() over "
+                               "MicroBatcher(max_batch=32); latencies "
+                               "measured from the common arrival instant"),
+    })
+    speedup_gate(throughput_speedup, REQUIRED_THROUGHPUT_SPEEDUP,
+                 detail=f"serial {serial_total:.3f}s vs "
+                        f"coalesced {coalesced_total:.3f}s")
+    speedup_gate(p99_ratio, REQUIRED_P99_RATIO,
+                 detail=f"p99 serial {serial_p99:.1f}ms vs "
+                        f"coalesced {coalesced_p99:.1f}ms")

@@ -1,4 +1,4 @@
-"""The built-in repo-specific lint rules (R001-R006).
+"""The built-in repo-specific lint rules (R001-R007).
 
 Each rule targets a defect class that a previous PR had to fix *after* a
 runtime path exposed it; the rules make the next instance a static finding.
@@ -17,7 +17,7 @@ from .rules import (FileContext, LintRule, attr_chain, register_rule,
 
 __all__ = ["RngDisciplineRule", "SampleSiteNameRule", "EagerMaterializationRule",
            "SeedBeforeSamplingRule", "SizedVectorizedContextRule",
-           "SilentExceptionSwallowRule"]
+           "SilentExceptionSwallowRule", "AsyncBlockingCallRule"]
 
 _NUMPY_ALIASES = ("np", "numpy")
 
@@ -419,3 +419,72 @@ class SilentExceptionSwallowRule(LintRule):
                 "silently — crashes, timeouts and corruption included; catch "
                 "the specific exception, or mark deliberate best-effort "
                 "cleanup with # repro: noqa[R006]")
+
+
+#: event-loop-blocking attribute calls: sync path/file I/O plus tensor
+#: realization (``.numpy()`` may force a full lazy-graph evaluation)
+_BLOCKING_METHODS = frozenset({"read_text", "write_text", "read_bytes",
+                               "write_bytes", "numpy"})
+
+
+def _in_serve_package(ctx: FileContext) -> bool:
+    parts = ctx.path.parts
+    for index, part in enumerate(parts):
+        if part == "repro" and "serve" in parts[index + 1:]:
+            return True
+    return False
+
+
+@register_rule
+class AsyncBlockingCallRule(LintRule):
+    """R007: no blocking calls inside ``async def`` bodies under ``repro/serve``.
+
+    The serving layer coalesces requests on a single asyncio event loop; one
+    blocking call inside an ``async def`` — ``time.sleep``, synchronous file
+    I/O (``open``, ``Path.read_text``-family) or ``.numpy()`` realization of
+    an unrealized tensor — stalls *every* in-flight request for its full
+    duration, which is precisely the tail-latency defect the micro-batching
+    benchmark gates against.  Sleep via ``await asyncio.sleep``, do file I/O
+    before the loop starts (or in ``run_in_executor``), and realize tensors
+    in the batcher's executor.  Nested synchronous ``def`` helpers are exempt
+    (they run wherever they are called from); deliberate cases take
+    ``# repro: noqa[R007]``.  Files outside ``repro/serve`` are exempt.
+    """
+
+    rule_id = "R007"
+    severity = ERROR
+    description = ("blocking call (time.sleep / sync file I/O / .numpy()) "
+                   "inside an async def under repro/serve stalls the event "
+                   "loop for every in-flight request")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_serve_package(ctx):
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in scope_statements(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if chain == ("time", "sleep"):
+                    yield self.finding(
+                        ctx, node,
+                        f"time.sleep() inside async {fn.name!r} blocks the "
+                        "event loop (and every coalesced request) — use "
+                        "await asyncio.sleep()")
+                elif chain == ("open",):
+                    yield self.finding(
+                        ctx, node,
+                        f"synchronous open() inside async {fn.name!r} blocks "
+                        "the event loop — load files before serving starts, "
+                        "or run the I/O in an executor")
+                elif (len(chain) >= 2 and chain[-1] in _BLOCKING_METHODS):
+                    what = ("tensor realization" if chain[-1] == "numpy"
+                            else "synchronous file I/O")
+                    yield self.finding(
+                        ctx, node,
+                        f".{chain[-1]}() inside async {fn.name!r} is {what} "
+                        "on the event loop — every in-flight request stalls "
+                        "behind it; move it to the batcher's executor (or "
+                        "before the loop starts)")

@@ -190,6 +190,51 @@ class GuidedBNN(_BNN):
                 completed[name] = site_dist.sample((num_samples,))
         return completed
 
+    # ------------------------------------------------------------ serving hooks
+    def snapshot_weight_stacks(self, num_samples: int, *args, **kwargs
+                               ) -> "OrderedDict[str, np.ndarray]":
+        """Posterior weight stacks as plain arrays — the serving-snapshot hook.
+
+        Draws :meth:`posterior_weight_samples` once and materializes every
+        stack to a float64 array ``(num_samples, ...)``, detached from any
+        graph/parameter state.  ``repro.serve.snapshot`` persists exactly
+        these arrays so a server process can load the posterior once and
+        answer ``predict`` requests RNG-free thereafter.
+        """
+        stacks = self.posterior_weight_samples(num_samples, *args, **kwargs)
+        return OrderedDict(
+            (name, np.array(value.data, dtype=np.float64, copy=True))
+            for name, value in stacks.items())
+
+    def snapshot_deterministic_state(self) -> "OrderedDict[str, np.ndarray]":
+        """Non-Bayesian network state: ML-fitted parameters and buffers.
+
+        Everything :meth:`snapshot_weight_stacks` does *not* carry — plain
+        parameters outside ``param_dists`` plus module buffers (e.g.
+        batch-norm running moments) — keyed as ``"param.<name>"`` /
+        ``"buffer.<name>"`` for :meth:`load_deterministic_state`.
+        """
+        bayesian = set(self.param_dists)
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.net.named_parameters():
+            if name not in bayesian:
+                state[f"param.{name}"] = np.array(param.data, copy=True)
+        for name, buffer in self.net.named_buffers():
+            state[f"buffer.{name}"] = np.array(buffer, copy=True)
+        return state
+
+    def load_deterministic_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`snapshot_deterministic_state` output into the net."""
+        for name, value in state.items():
+            kind, _, target = name.partition(".")
+            if kind == "param":
+                self.net.set_parameter(target, Parameter(np.asarray(value)))
+            elif kind == "buffer":
+                self.net.set_buffer(target, np.asarray(value))
+            else:
+                raise ValueError(f"unknown deterministic-state entry {name!r} "
+                                 "(expected a param./buffer. prefix)")
+
     def posterior_weight_samples(self, num_samples: int, *args, **kwargs
                                  ) -> "OrderedDict[str, Tensor]":
         """Stacked posterior weight draws ``{site: (num_samples, ...)}``.
@@ -380,6 +425,23 @@ class _SupervisedBNN(GuidedBNN):
                       for group in stacked]
         return Tensor(np.stack(aggregated))
 
+    def predict_with_samples(self, input_data, samples: Dict[str, Tensor],
+                             aggregate: bool = True):
+        """Posterior-predictive output from pre-drawn weight stacks, RNG-free.
+
+        The serving hot path: ``samples`` is a ``{site: (S, ...)}`` stack (a
+        loaded snapshot, or fresh :meth:`posterior_weight_samples` output)
+        covering every Bayesian site, so one batched
+        :meth:`vectorized_forward` computes all ``S`` per-sample predictions
+        without consuming any randomness — the same stacks always produce
+        byte-identical outputs.  Returns the likelihood-aggregated prediction,
+        or the raw ``(S, N, ...)`` stack with ``aggregate=False``.
+        """
+        with no_grad():
+            out = self.vectorized_forward(*_as_tuple(input_data), samples=samples)
+            stacked = Tensor(out.data if isinstance(out, Tensor) else np.asarray(out))
+        return self.likelihood.aggregate_predictions(stacked) if aggregate else stacked
+
     def evaluate(self, input_data, targets, num_predictions: int = 1,
                  reduction: str = "mean", vectorized: bool = False) -> Tuple[float, float]:
         """Return ``(log_likelihood, error)`` of the aggregated predictions."""
@@ -532,7 +594,10 @@ class MCMC_BNN(_SupervisedBNN):
         raise NotImplementedError(
             "posterior_weight_samples requires a guide-based BNN; MCMC "
             "posteriors are fixed sample chains — use predict(..., "
-            "vectorized=True), which batches the stored samples directly")
+            "vectorized=True), which batches the stored samples directly. "
+            "The serving layer (repro.serve snapshots) has the same "
+            "guide-based requirement: refit with VariationalBNN (or another "
+            "GuidedBNN) to snapshot and serve this model")
 
     def predict_grouped(self, input_groups, num_predictions: int = 1, aggregate: bool = True):
         """Not supported: MCMC posteriors are stored sample chains, not a guide.
@@ -544,7 +609,9 @@ class MCMC_BNN(_SupervisedBNN):
         """
         raise NotImplementedError(
             "predict_grouped requires a guide-based BNN; use per-group "
-            "predict(..., vectorized=True) with MCMC posteriors")
+            "predict(..., vectorized=True) with MCMC posteriors. The serving "
+            "layer (repro.serve) likewise refuses MCMC-backed models: "
+            "snapshots need guide-drawn weight stacks")
 
     def guided_forward(self, *args, sample_index: Optional[int] = None, **kwargs):
         """Forward pass with one stored posterior sample of the weights."""

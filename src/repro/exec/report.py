@@ -8,7 +8,9 @@ contract: a sweep exits 1 when any cell ends in a terminal failure.
 
 ``repro results <sweep-dir>`` reads the journal back into a queryable table:
 one row per journaled cell (its swept overrides plus every numeric metric)
-and min/mean/max aggregates per metric across the grid.
+and min/p50/mean/p95/p99/max aggregates per metric across the grid — the
+percentiles exist chiefly for latency-style metrics (``BENCH_serve.json``
+traces, wall clocks), where tails matter more than means.
 """
 
 from __future__ import annotations
@@ -107,14 +109,26 @@ def exit_code(outcomes: Sequence[CellOutcome]) -> int:
 # --------------------------------------------------------------------------
 # ``repro results`` — the queryable index over a sweep directory.
 # --------------------------------------------------------------------------
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values (numpy-default)."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 def index_results(sweep_dir) -> dict:
     """Summarize a sweep directory's journal into a metrics table.
 
     Returns ``{"experiment_id", "rows", "metrics", "aggregates"}`` where each
     row carries the cell's identity, its swept overrides and its numeric
-    metrics, and ``aggregates`` maps every metric to min/mean/max across the
-    journaled grid.  Cells the manifest lists but the journal lacks appear
-    with ``"status": "missing"`` so partial sweeps are visible.
+    metrics, and ``aggregates`` maps every metric to
+    min/p50/mean/p95/p99/max across the journaled grid.  Cells the manifest
+    lists but the journal lacks appear with ``"status": "missing"`` so
+    partial sweeps are visible.
     """
     root = Path(sweep_dir)
     manifest = load_manifest(root)
@@ -149,8 +163,13 @@ def index_results(sweep_dir) -> dict:
     for name in metric_keys:
         values = [row["metrics"][name] for row in rows if name in row["metrics"]]
         if values:
+            ordered = sorted(values)
             aggregates[name] = {"min": min(values), "max": max(values),
-                                "mean": sum(values) / len(values), "n": len(values)}
+                                "mean": sum(values) / len(values),
+                                "p50": _percentile(ordered, 50.0),
+                                "p95": _percentile(ordered, 95.0),
+                                "p99": _percentile(ordered, 99.0),
+                                "n": len(values)}
     experiment_id = (manifest or {}).get("experiment_id")
     if experiment_id is None and valid:
         experiment_id = next(iter(valid.values())).experiment_id
@@ -174,8 +193,10 @@ def render_results(index: dict, stream, metrics: Optional[Sequence[str]] = None)
     for name in selected:
         agg = index["aggregates"].get(name)
         if agg:
-            print(f"{name}: min {agg['min']:.6g}  mean {agg['mean']:.6g}  "
-                  f"max {agg['max']:.6g}  (n={agg['n']})", file=stream)
+            print(f"{name}: min {agg['min']:.6g}  p50 {agg['p50']:.6g}  "
+                  f"mean {agg['mean']:.6g}  p95 {agg['p95']:.6g}  "
+                  f"p99 {agg['p99']:.6g}  max {agg['max']:.6g}  (n={agg['n']})",
+                  file=stream)
     if index["corrupt"]:
         print(f"results: {len(index['corrupt'])} corrupt journal entries ignored",
               file=stream)

@@ -8,8 +8,10 @@ Usage::
     repro run-all --fast                        # every artefact E1-E6
     repro sweep fig1-regression --set lr=0.1,0.01 --set seed=0..4 --workers 4
     repro results sweeps/fig1-regression        # metric table over the grid
-    repro lint src tests                        # static analysis (rules R001-R006)
+    repro lint src tests                        # static analysis (rules R001-R007)
     repro check-model fig1-regression --fast    # static model/guide validation
+    repro snapshot fig1-regression --out snaps/fig1 --fast
+    repro serve fig1-regression --snapshot snaps/fig1 --port 8100
 
 ``repro run`` builds the experiment's config (``--fast`` selects the reduced
 smoke-test configuration), applies typed ``--set key=value`` overrides,
@@ -139,9 +141,49 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint", help="static analysis: RNG discipline, site names, hot-path "
                      "materialization, seeding, vectorized contexts, silent "
-                     "exception swallowing (R001-R006)")
+                     "exception swallowing, async blocking calls (R001-R007)")
     lint.add_argument("paths", nargs="*", default=["src"], metavar="path",
                       help="files or directories to lint (default: src)")
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="train an experiment's serve model and freeze it "
+                         "(config echo + posterior weight stacks) into a "
+                         "versioned artifact directory")
+    snapshot.add_argument("experiment_id", metavar="id",
+                          help="experiment id (see `repro list`)")
+    snapshot.add_argument("--out", required=True, metavar="DIR",
+                          help="snapshot directory to write")
+    snapshot.add_argument("--fast", action="store_true",
+                          help="build from the reduced smoke-test configuration")
+    snapshot.add_argument("--set", dest="overrides", action="append", default=[],
+                          metavar="key=value",
+                          help="typed config override (repeatable)")
+    snapshot.add_argument("--num-samples", type=int, default=32, metavar="S",
+                          help="posterior weight samples to pre-draw (default 32)")
+    snapshot.add_argument("--untrained", action="store_true",
+                          help="skip training; snapshot the untrained skeleton "
+                               "(smoke tests, latency benchmarks)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a snapshot over HTTP: micro-batched /predict "
+                      "with mean/std/calibrated-interval responses, plus "
+                      "/healthz and /stats")
+    serve.add_argument("experiment_id", metavar="id", nargs="?", default=None,
+                       help="experiment id the snapshot must hold (optional check)")
+    serve.add_argument("--snapshot", required=True, metavar="DIR",
+                       help="snapshot directory (see `repro snapshot`)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="bind port (0 = ephemeral; the bound port is "
+                            "printed on the startup line)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="flush a micro-batch at N input rows (default 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0, metavar="MS",
+                       help="flush a micro-batch after MS milliseconds "
+                            "(default 2.0)")
+    serve.add_argument("--cache-bytes", type=int, default=8 << 20, metavar="B",
+                       help="response cache budget in bytes (0 disables; "
+                            "default 8 MiB)")
 
     check_model = subparsers.add_parser(
         "check-model", help="statically validate an experiment's model/guide "
@@ -440,6 +482,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ...analysis.cli import run_lint  # lazy: keep plain runs import-light
 
         return run_lint(args.paths, stream=stream)
+    if args.command == "snapshot":
+        from ...serve.cli import run_snapshot  # lazy: keep plain runs import-light
+
+        try:
+            overrides = parse_overrides(args.overrides)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        return run_snapshot(args.experiment_id, args.out, fast=args.fast,
+                            overrides=overrides, num_samples=args.num_samples,
+                            untrained=args.untrained, stream=stream)
+    if args.command == "serve":
+        from ...serve.cli import run_serve
+
+        return run_serve(args.experiment_id, args.snapshot, host=args.host,
+                         port=args.port, max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms,
+                         cache_bytes=args.cache_bytes, stream=stream)
     if args.command == "check-model":
         from ...analysis.cli import run_check_model
 

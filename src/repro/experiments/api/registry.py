@@ -53,6 +53,9 @@ class ExperimentSpec:
     #: optional ``config -> [repro.analysis.ValidationTarget]`` builder exposing
     #: cheap untrained model/guide pairs to ``repro check-model``
     validation_targets: Optional[Callable[[BaseExperimentConfig], List[Any]]] = None
+    #: optional ``config -> repro.serve.ServeTarget`` builder exposing the
+    #: experiment's model to ``repro snapshot`` / ``repro serve``
+    serve_target: Optional[Callable[[BaseExperimentConfig], Any]] = None
 
     # ------------------------------------------------------------------ checks
     def make_validation_targets(self, fast: bool = True,
@@ -97,7 +100,8 @@ class ExperimentSpec:
 def register(experiment_id: str, *, config_cls: Type[BaseExperimentConfig], number: str,
              artefact: str, title: str,
              base_overrides: Optional[Mapping[str, Any]] = None,
-             validation_targets: Optional[Callable] = None) -> Callable:
+             validation_targets: Optional[Callable] = None,
+             serve_target: Optional[Callable] = None) -> Callable:
     """Class/function decorator adding a runner to the registry under ``experiment_id``."""
 
     def decorator(runner: Callable) -> Callable:
@@ -109,7 +113,8 @@ def register(experiment_id: str, *, config_cls: Type[BaseExperimentConfig], numb
         spec = ExperimentSpec(experiment_id=experiment_id, config_cls=config_cls,
                               runner=runner, number=number, artefact=artefact, title=title,
                               base_overrides=dict(base_overrides or {}),
-                              validation_targets=validation_targets)
+                              validation_targets=validation_targets,
+                              serve_target=serve_target)
         _REGISTRY[experiment_id] = spec
         runner.spec = spec
         return runner

@@ -286,6 +286,51 @@ def _inference_comparison(config: ImageClassificationConfig,
     return results
 
 
+def _make_mf_bnn(config: ImageClassificationConfig, net=None) -> tyxe.VariationalBNN:
+    """The Table-1 "mf" model skeleton around ``net`` (freshly built if None)."""
+    if net is None:
+        net = _make_net(config)
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=True,
+                                 hide_module_types=[nn.BatchNorm2d])
+    guide = partial(tyxe.guides.AutoNormal,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(net),
+                    init_scale=config.init_scale, train_loc=True,
+                    max_guide_scale=config.max_guide_scale)
+    n_train = config.num_classes * config.train_per_class
+    return tyxe.VariationalBNN(net, prior, tyxe.likelihoods.Categorical(n_train), guide)
+
+
+def _fit_mf_bnn(config: ImageClassificationConfig) -> tyxe.VariationalBNN:
+    """Train the Table-1 "mf" posterior end to end: ML pretrain + mean-field VI."""
+    config.seed_all()
+    data = _make_data(config)
+    ml_net = _make_net(config)
+    _pretrain_ml(ml_net, data, config)
+    net = _make_net(config)
+    net.load_state_dict(ml_net.state_dict())
+    prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0), expose_all=True,
+                                 hide_module_types=[nn.BatchNorm2d])
+    guide = partial(tyxe.guides.AutoNormal,
+                    init_loc_fn=tyxe.guides.PretrainedInitializer.from_net(net),
+                    init_scale=config.init_scale, train_loc=True,
+                    max_guide_scale=config.max_guide_scale)
+    return _fit_variational(net, data, config, guide, prior, config.vi_epochs)
+
+
+def _serve_target(config: ImageClassificationConfig):
+    """The mean-field ResNet posterior as a ``repro snapshot``/``repro serve`` model.
+
+    Exercises the classification branch of the serving stats (mean/std over
+    class probabilities) and BatchNorm buffer round-tripping through
+    snapshots.
+    """
+    from ..serve import ServeTarget
+
+    example = np.zeros((2, config.channels, config.image_size, config.image_size))
+    return ServeTarget("mean-field", lambda: _make_mf_bnn(config), example,
+                       fit=lambda: _fit_mf_bnn(config))
+
+
 def _validation_targets(config: ImageClassificationConfig):
     """Untrained model/guide pairs for ``repro check-model``: MAP and mean-field."""
     from ..analysis import ValidationTarget
@@ -320,7 +365,7 @@ def _validation_targets(config: ImageClassificationConfig):
 @register("table1-resnet", config_cls=ImageClassificationConfig, number="E2",
           artefact="Table 1",
           title="Bayesian ResNet inference comparison: NLL / accuracy / ECE / OOD AUROC",
-          validation_targets=_validation_targets)
+          validation_targets=_validation_targets, serve_target=_serve_target)
 def _table1_experiment(config: ImageClassificationConfig):
     results = _inference_comparison(config)
     metrics = {f"{row['method']}_{key}": value
@@ -333,7 +378,7 @@ def _table1_experiment(config: ImageClassificationConfig):
           artefact="Figure 2",
           title="Calibration curves and test/OOD predictive-entropy CDFs",
           base_overrides={"methods": "ml,mf"},
-          validation_targets=_validation_targets)
+          validation_targets=_validation_targets, serve_target=_serve_target)
 def _figure2_experiment(config: ImageClassificationConfig):
     data = _make_data(config)
     results = _inference_comparison(config, data=data)

@@ -107,30 +107,46 @@ def _build_net(config: RegressionConfig, rng: np.random.Generator) -> nn.Sequent
                          nn.Linear(config.hidden_units, 1, rng=rng))
 
 
-def _variational_regression(config: RegressionConfig,
-                            local_reparam_predict: bool = True) -> RegressionResult:
-    """Panels (a)/(b): mean-field VI with/without local reparameterization at test time."""
-    rng = config.seed_all()
-    x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
-    x_grid = regression_grid()
-
+def _make_variational_bnn(config: RegressionConfig, n_data: int,
+                          rng: np.random.Generator) -> "tyxe.VariationalBNN":
+    """The untrained panel-(a/b) model skeleton (shared with the serve target)."""
     net = _build_net(config, rng)
-    likelihood = tyxe.likelihoods.HomoskedasticGaussian(len(x), scale=config.noise_scale)
+    likelihood = tyxe.likelihoods.HomoskedasticGaussian(n_data, scale=config.noise_scale)
     prior = tyxe.priors.IIDPrior(dist.Normal(0.0, 1.0))
     guide_factory = partial(tyxe.guides.AutoNormal, init_scale=config.init_scale,
                             init_loc_fn=tyxe.guides.init_to_normal("radford"))
-    bnn = tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+    return tyxe.VariationalBNN(net, prior, likelihood, guide_factory)
+
+
+def _fit_variational_bnn(config: RegressionConfig):
+    """Seed, build and train the mean-field VI posterior.
+
+    Returns ``(bnn, x, y, losses)`` with the global RNG stream positioned
+    exactly where the looped experiment path expects it — the experiment
+    panels and the ``fig1-regression`` serve target both train through here.
+    """
+    rng = config.seed_all()
+    x, y = foong_regression(config.n_per_cluster, config.noise_scale, seed=config.seed)
+    bnn = _make_variational_bnn(config, len(x), rng)
     loader = nn.DataLoader(nn.TensorDataset(x, y), batch_size=config.batch_size, shuffle=True,
                            rng=np.random.default_rng(config.seed))
     optim = ppl.optim.Adam({"lr": config.learning_rate})
-
     losses = []
     with tyxe.poutine.local_reparameterization():
         bnn.fit(loader, optim, config.num_epochs,
                 callback=lambda b, e, l: losses.append(l) and False)
-        if local_reparam_predict:
+    return bnn, x, y, losses
+
+
+def _variational_regression(config: RegressionConfig,
+                            local_reparam_predict: bool = True) -> RegressionResult:
+    """Panels (a)/(b): mean-field VI with/without local reparameterization at test time."""
+    bnn, x, y, losses = _fit_variational_bnn(config)
+    x_grid = regression_grid()
+    if local_reparam_predict:
+        with tyxe.poutine.local_reparameterization():
             grid_preds = bnn.predict(x_grid, num_predictions=config.num_predictions, aggregate=False)
-    if not local_reparam_predict:
+    else:
         grid_preds = bnn.predict(x_grid, num_predictions=config.num_predictions, aggregate=False)
 
     mean = grid_preds.data.mean(axis=0).squeeze()
@@ -201,9 +217,23 @@ def _validation_targets(config: RegressionConfig):
     return [ValidationTarget("mean-field-vi", bnn.model, bnn.guide, args=(x, y))]
 
 
+def _serve_target(config: RegressionConfig):
+    """The mean-field VI posterior as a ``repro snapshot``/``repro serve`` model."""
+    from ..serve import ServeTarget
+
+    def build():
+        rng = np.random.default_rng(config.seed)
+        return _make_variational_bnn(config, 2 * config.n_per_cluster, rng)
+
+    def fit():
+        return _fit_variational_bnn(config)[0]
+
+    return ServeTarget("mean-field-vi", build, regression_grid()[:8], fit=fit)
+
+
 @register("fig1-regression", config_cls=RegressionConfig, number="E1", artefact="Figure 1",
           title="Bayesian nonlinear regression: mean-field VI (x2) vs. HMC",
-          validation_targets=_validation_targets)
+          validation_targets=_validation_targets, serve_target=_serve_target)
 def _figure1_experiment(config: RegressionConfig):
     results = _figure1(config)
     metrics = {f"{method}_{key}": value

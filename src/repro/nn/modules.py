@@ -141,6 +141,17 @@ class Module:
         module = self.get_submodule(".".join(path))
         module._parameters[name] = value
 
+    def set_buffer(self, target: str, value: np.ndarray) -> None:
+        """Replace a (possibly nested) buffer entry with ``value``.
+
+        The restore half of :meth:`named_buffers`: model snapshots
+        (``repro.serve``) persist running statistics such as batch-norm
+        moments and write them back through this hook on load.
+        """
+        *path, name = target.split(".")
+        module = self.get_submodule(".".join(path))
+        module._buffers[name] = np.asarray(value)
+
     # -------------------------------------------------------------- training
     def train(self, mode: bool = True) -> "Module":
         object.__setattr__(self, "training", mode)

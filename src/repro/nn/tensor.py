@@ -26,6 +26,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,36 +60,37 @@ __all__ = [
 ]
 
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local (as in torch): serving runs inference inside
+# executor threads under no_grad(), and a process-global flag would let two
+# overlapping contexts in different threads restore each other's state.
+_GRAD_MODE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations should record the autograd tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling tape construction (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    prev = is_grad_enabled()
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_MODE.enabled = prev
 
 
 @contextlib.contextmanager
 def enable_grad():
     """Context manager (re-)enabling tape construction."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    prev = is_grad_enabled()
+    _GRAD_MODE.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_MODE.enabled = prev
 
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]

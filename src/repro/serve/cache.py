@@ -1,0 +1,93 @@
+"""A byte-bounded LRU response cache keyed on input bytes + snapshot id.
+
+Serving traffic is often heavy-tailed in its inputs (health probes, repeated
+grid points, retries), and every prediction from one snapshot is
+deterministic — so a response computed once is valid forever for that
+(input, coverage, snapshot) triple.  The cache is bounded in *bytes*, not
+entries, because response payload size varies with the request's row count;
+eviction is least-recently-used.  Hit/miss/eviction counters feed the
+``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ByteLRUCache", "response_cache_key", "response_nbytes"]
+
+
+def response_cache_key(inputs: np.ndarray, coverage: float,
+                       snapshot_id: str) -> str:
+    """Deterministic key for one request against one snapshot."""
+    digest = hashlib.sha256()
+    digest.update(snapshot_id.encode())
+    digest.update(f":{coverage!r}:{inputs.dtype}:{inputs.shape}:".encode())
+    digest.update(np.ascontiguousarray(inputs).tobytes())
+    return digest.hexdigest()
+
+
+def response_nbytes(response) -> int:
+    """Approximate in-memory size of a :class:`PredictResponse`."""
+    total = 64  # object + coverage float overhead
+    for array in (response.mean, response.std, response.lo, response.hi):
+        total += int(np.asarray(array).nbytes)
+    return total
+
+
+class ByteLRUCache:
+    """LRU mapping bounded by total stored bytes (not entry count)."""
+
+    def __init__(self, max_bytes: int = 8 << 20) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached value (refreshing recency) or ``None``; counts hit/miss."""
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any, nbytes: int) -> None:
+        """Insert ``value`` of ``nbytes``, evicting LRU entries over budget.
+
+        A value larger than the whole budget is not stored (it would evict
+        everything for a single entry that can never be amortized).
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.max_bytes:
+            return
+        if key in self._store:
+            self.current_bytes -= self._sizes[key]
+            self._store.move_to_end(key)
+        self._store[key] = value
+        self._sizes[key] = nbytes
+        self.current_bytes += nbytes
+        while self.current_bytes > self.max_bytes:
+            evicted_key, _ = self._store.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(evicted_key)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._store), "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}

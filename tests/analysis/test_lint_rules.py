@@ -1,4 +1,4 @@
-"""Good/bad fixture coverage for every lint rule (R001-R006) and noqa handling."""
+"""Good/bad fixture coverage for every lint rule (R001-R007) and noqa handling."""
 
 import textwrap
 
@@ -21,7 +21,7 @@ def _rule_ids(findings):
 class TestFramework:
     def test_all_rules_registered(self):
         assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004",
-                                                    "R005", "R006"]
+                                                    "R005", "R006", "R007"]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -446,6 +446,77 @@ class TestR006SilentExceptionSwallow:
                 except Exception:
                     pass
         """, name="thirdparty/mod.py")
+        assert lint_file(path) == []
+
+
+class TestR007AsyncBlockingCall:
+    def test_time_sleep_in_async_def_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+                return request
+        """, name="repro/serve/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R007"]
+
+    def test_sync_open_and_read_text_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            async def load(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data + path.read_text()
+        """, name="repro/serve/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R007", "R007"]
+
+    def test_numpy_realization_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            async def respond(tensor):
+                return tensor.numpy()
+        """, name="repro/serve/mod.py")
+        assert _rule_ids(lint_file(path)) == ["R007"]
+
+    def test_sync_def_and_nested_def_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            import time
+
+            def warmup():
+                time.sleep(0.1)
+
+            async def handle(request):
+                def realize(t):
+                    return t.numpy()
+                return realize(request)
+        """, name="repro/serve/mod.py")
+        assert lint_file(path) == []
+
+    def test_async_sleep_and_executor_allowed(self, tmp_path):
+        path = _write(tmp_path, """
+            import asyncio
+
+            async def handle(loop, engine, batch):
+                await asyncio.sleep(0.01)
+                return await loop.run_in_executor(None, engine.predict, batch)
+        """, name="repro/serve/mod.py")
+        assert lint_file(path) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(tmp_path, """
+            import time
+
+            async def debug_handle(request):
+                time.sleep(0.1)  # repro: noqa[R007]
+                return request
+        """, name="repro/serve/mod.py")
+        assert lint_file(path) == []
+
+    def test_files_outside_serve_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+        """, name="repro/exec/mod.py")
         assert lint_file(path) == []
 
 

@@ -138,6 +138,29 @@ class TestResultsCommand:
         assert {row["status"] for row in index["rows"]} == {"done"}
         assert index["aggregates"]["loss"]["n"] == 2
 
+    def test_aggregates_carry_latency_style_percentiles(self, sweep_dir,
+                                                        capsys):
+        capsys.readouterr()
+        assert main(["results", str(sweep_dir), "--json"]) == 0
+        agg = json.loads(capsys.readouterr().out)["aggregates"]["loss"]
+        assert {"min", "p50", "mean", "p95", "p99", "max", "n"} <= set(agg)
+        assert agg["min"] <= agg["p50"] <= agg["p95"] <= agg["p99"] <= agg["max"]
+        capsys.readouterr()
+        assert main(["results", str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+    def test_percentile_matches_numpy_linear_interpolation(self):
+        import numpy as np
+
+        from repro.exec.report import _percentile
+
+        values = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.5, 6.0])
+        for q in (50.0, 95.0, 99.0):
+            assert _percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)))
+        assert _percentile([7.25], 99.0) == 7.25
+
     def test_partial_sweep_rows_marked_missing(self, toy_experiment, tmp_path,
                                                capsys):
         path = tmp_path / "partial"

@@ -1,0 +1,40 @@
+"""Shared serving fixtures: one tiny trained fig1 snapshot per session.
+
+The snapshot is trained once (3 epochs on 12 points) and reused read-only by
+every serving test — the engine consumes no RNG, so sharing is safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import PredictionEngine, create_snapshot, load_snapshot
+
+#: tiny-but-trained fig1 configuration shared by the serve suite
+TINY_FIG1 = {"n_per_cluster": 6, "num_epochs": 3, "hidden_units": 8,
+             "num_predictions": 2}
+TINY_NUM_SAMPLES = 8
+
+
+@pytest.fixture(scope="session")
+def tiny_overrides():
+    return dict(TINY_FIG1)
+
+
+@pytest.fixture(scope="session")
+def fig1_snapshot_dir(tmp_path_factory):
+    snapshot = create_snapshot("fig1-regression", fast=True, overrides=TINY_FIG1,
+                               num_samples=TINY_NUM_SAMPLES)
+    root = tmp_path_factory.mktemp("snapshots") / "fig1"
+    snapshot.save(root)
+    return root
+
+
+@pytest.fixture(scope="session")
+def fig1_engine(fig1_snapshot_dir):
+    return PredictionEngine.from_snapshot(load_snapshot(fig1_snapshot_dir))
+
+
+@pytest.fixture
+def request_rows():
+    """A deterministic pool of single-row regression inputs."""
+    return np.linspace(-2.0, 2.0, 24).reshape(-1, 1)

@@ -1,0 +1,77 @@
+"""Byte-bounded LRU semantics: hits, misses, evictions, budgets, keys."""
+
+import numpy as np
+
+from repro.serve import ByteLRUCache, response_cache_key
+from repro.serve.cache import response_nbytes
+from repro.serve.engine import PredictResponse
+
+
+def _response(rows=1):
+    arr = np.zeros((rows, 1))
+    return PredictResponse(mean=arr, std=arr, lo=arr, hi=arr, coverage=0.9)
+
+
+class TestLRU:
+    def test_hit_miss_counters(self):
+        cache = ByteLRUCache(1024)
+        assert cache.get("a") is None
+        cache.put("a", "value", 100)
+        assert cache.get("a") == "value"
+        assert cache.stats() == {"entries": 1, "bytes": 100, "max_bytes": 1024,
+                                 "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_eviction_is_lru_ordered(self):
+        cache = ByteLRUCache(300)
+        cache.put("a", 1, 100)
+        cache.put("b", 2, 100)
+        cache.put("c", 3, 100)
+        assert cache.get("a") == 1  # refresh a: b is now least recent
+        cache.put("d", 4, 100)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.evictions == 1
+        assert cache.current_bytes == 300
+
+    def test_multiple_evictions_for_one_large_insert(self):
+        cache = ByteLRUCache(300)
+        for key in "abc":
+            cache.put(key, key, 100)
+        cache.put("big", "big", 250)
+        assert len(cache) == 1  # a, b and c all evicted to fit 250 in 300
+        assert cache.evictions == 3
+        assert cache.current_bytes == 250
+
+    def test_oversize_value_not_stored(self):
+        cache = ByteLRUCache(100)
+        cache.put("huge", "x", 101)
+        assert len(cache) == 0
+        assert cache.evictions == 0
+
+    def test_reinsert_updates_size_accounting(self):
+        cache = ByteLRUCache(300)
+        cache.put("a", 1, 100)
+        cache.put("a", 2, 200)
+        assert cache.current_bytes == 200
+        assert cache.get("a") == 2
+
+
+class TestKeys:
+    def test_key_depends_on_input_bytes_coverage_and_snapshot(self):
+        x = np.ones((2, 1))
+        base = response_cache_key(x, 0.9, "snap-a")
+        assert response_cache_key(x.copy(), 0.9, "snap-a") == base
+        assert response_cache_key(x + 1e-12, 0.9, "snap-a") != base
+        assert response_cache_key(x, 0.95, "snap-a") != base
+        assert response_cache_key(x, 0.9, "snap-b") != base
+
+    def test_key_distinguishes_shape_with_same_bytes(self):
+        flat = np.zeros((4, 1))
+        assert (response_cache_key(flat, 0.9, "s")
+                != response_cache_key(flat.reshape(2, 2), 0.9, "s"))
+
+    def test_response_nbytes_tracks_array_payload(self):
+        small = response_nbytes(_response(rows=1))
+        large = response_nbytes(_response(rows=100))
+        assert large > small
+        assert large >= 100 * 8 * 4  # four float64 arrays of 100 rows

@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.7.0",
+    version="0.8.0",
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

@@ -1,4 +1,4 @@
-"""The built-in repo-specific lint rules (R001-R007).
+"""The built-in repo-specific lint rules (R001-R008).
 
 Each rule targets a defect class that a previous PR had to fix *after* a
 runtime path exposed it; the rules make the next instance a static finding.
@@ -17,7 +17,8 @@ from .rules import (FileContext, LintRule, attr_chain, register_rule,
 
 __all__ = ["RngDisciplineRule", "SampleSiteNameRule", "EagerMaterializationRule",
            "SeedBeforeSamplingRule", "SizedVectorizedContextRule",
-           "SilentExceptionSwallowRule", "AsyncBlockingCallRule"]
+           "SilentExceptionSwallowRule", "AsyncBlockingCallRule",
+           "BackendBypassRule"]
 
 _NUMPY_ALIASES = ("np", "numpy")
 
@@ -488,3 +489,77 @@ class AsyncBlockingCallRule(LintRule):
                         "on the event loop — every in-flight request stalls "
                         "behind it; move it to the batcher's executor (or "
                         "before the loop starts)")
+
+
+#: numpy functions with a route through the backend kernel surface — the
+#: elementwise table (ufuncs), the kernel entry points (matmul/reductions/
+#: cumsum) and their common aliases.  Deliberately *not* listed: allocation
+#: (np.empty/zeros), movement (np.transpose/reshape/flip), indexing helpers
+#: (np.unravel_index, np.add.at) and dtype machinery — those have no backend
+#: route and stay plain numpy even on accelerated backends.
+_BACKEND_KERNELS = frozenset({
+    # linear algebra / scans
+    "matmul", "einsum", "dot", "tensordot", "cumsum",
+    # reductions
+    "sum", "mean", "amax", "amin", "max", "min",
+    # elementwise ufuncs mirrored by Backend.elementwise
+    "add", "subtract", "multiply", "divide", "true_divide", "negative",
+    "absolute", "exp", "log", "log1p", "sqrt", "tanh", "sin", "cos",
+    "logaddexp", "maximum", "minimum", "power", "clip",
+})
+
+
+def _in_nn_outside_backends(ctx: FileContext) -> bool:
+    parts = ctx.path.parts
+    for index, part in enumerate(parts):
+        if (part == "repro" and parts[index + 1:index + 2] == ("nn",)
+                and "backends" not in parts[index + 2:]):
+            return True
+    return False
+
+
+@register_rule
+class BackendBypassRule(LintRule):
+    """R008: kernel-shaped ``np.*`` calls in ``repro/nn`` bypass the backend.
+
+    ``repro.nn`` dispatches every compute kernel — the elementwise table,
+    matmul, im2col/pooling windowing, reductions, cumsum — through
+    ``repro.nn.backends.get_backend()`` so an accelerated backend swaps the
+    whole stack at one seam.  A direct ``np.exp(...)``/``np.matmul(...)``/
+    ``np.lib.stride_tricks.as_strided(...)`` call inside ``repro/nn`` silently
+    pins that op to numpy: it still *works* on the reference backend, which is
+    exactly why only a static rule catches it before an accelerated run
+    produces mixed-backend numerics.  The kernel implementations under
+    ``repro/nn/backends/`` are exempt (they *are* the dispatch target), as is
+    everything outside ``repro/nn``; scalar math belongs to ``math.*`` and
+    deliberate escapes take ``# repro: noqa[R008]``.
+    """
+
+    rule_id = "R008"
+    severity = WARNING
+    description = ("direct np.* kernel call (ufunc compute / matmul / "
+                   "reduction / cumsum / stride_tricks) inside repro/nn "
+                   "bypasses the backend dispatch seam")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_nn_outside_backends(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if (len(chain) == 2 and chain[0] in _NUMPY_ALIASES
+                    and chain[1] in _BACKEND_KERNELS):
+                yield self.finding(
+                    ctx, node,
+                    f"np.{chain[1]}() is a compute kernel with a backend "
+                    "route; dispatch through repro.nn.backends (get_backend() "
+                    "or lazy.compute_eager) so accelerated backends see the "
+                    "whole graph")
+            elif (chain[-2:] == ("stride_tricks", "as_strided")
+                  and chain[0] in _NUMPY_ALIASES) or chain == ("as_strided",):
+                yield self.finding(
+                    ctx, node,
+                    "as_strided windowing is kernel layout work; use the "
+                    "backend's im2col/pooling entry points so accelerated "
+                    "backends can run their own windowing")

@@ -152,7 +152,10 @@ class BaseExperimentConfig:
     leading-sample-dimension evaluation engine where an experiment supports
     it (NeRF posterior rendering, continual-learning task evaluation) and is
     ignored elsewhere; ``output_dir`` is where the registry writes the JSON
-    artifact (``None`` = do not write).
+    artifact (``None`` = do not write); ``backend`` selects the
+    :mod:`repro.nn.backends` compute backend for the run (``--set
+    backend=torch``), with ``None`` deferring to the ``REPRO_BACKEND``
+    environment variable and ultimately the ``numpy`` default.
 
     Each concrete config defines a ``fast()`` classmethod returning its
     reduced smoke-test configuration (with ``fast=True`` set).  The
@@ -166,17 +169,30 @@ class BaseExperimentConfig:
     fast: bool = False
     vectorized_eval: bool = True
     output_dir: Optional[str] = None
+    backend: Optional[str] = None
 
     # ------------------------------------------------------------------ seeding
     def seed_all(self) -> np.random.Generator:
         """The single shared seeding idiom for every experiment entry point.
 
-        Seeds the global ``repro.ppl`` RNG, clears the parameter store and
-        returns a fresh ``np.random.Generator`` seeded identically — exactly
-        the trio every experiment module used to spell out by hand.
+        Seeds the global ``repro.ppl`` RNG, clears the parameter store,
+        applies the config's compute-backend selection and returns a fresh
+        ``np.random.Generator`` seeded identically — exactly the trio every
+        experiment module used to spell out by hand.
+
+        Backend precedence: an explicit ``backend`` field wins; ``None``
+        *resets* the process-wide selection so ``REPRO_BACKEND``/default
+        re-resolve — sweep cells sharing a worker process therefore never
+        inherit a previous cell's backend.
         """
+        from ...nn import backends as nn_backends
+
         ppl.set_rng_seed(self.seed)
         ppl.clear_param_store()
+        if self.backend is not None:
+            nn_backends.set_backend(self.backend)
+        else:
+            nn_backends.reset_backend()
         return np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------ serialization

@@ -8,7 +8,7 @@ Usage::
     repro run-all --fast                        # every artefact E1-E6
     repro sweep fig1-regression --set lr=0.1,0.01 --set seed=0..4 --workers 4
     repro results sweeps/fig1-regression        # metric table over the grid
-    repro lint src tests                        # static analysis (rules R001-R007)
+    repro lint src tests                        # static analysis (rules R001-R008)
     repro check-model fig1-regression --fast    # static model/guide validation
     repro snapshot fig1-regression --out snaps/fig1 --fast
     repro serve fig1-regression --snapshot snaps/fig1 --port 8100
@@ -141,7 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint", help="static analysis: RNG discipline, site names, hot-path "
                      "materialization, seeding, vectorized contexts, silent "
-                     "exception swallowing, async blocking calls (R001-R007)")
+                     "exception swallowing, async blocking calls, backend-"
+                     "bypassing kernel calls (R001-R008)")
     lint.add_argument("paths", nargs="*", default=["src"], metavar="path",
                       help="files or directories to lint (default: src)")
 
@@ -218,13 +219,16 @@ def _print_graph_stats(before: Dict[str, int], stream) -> None:
     from ...nn import lazy
 
     after = lazy.graph_stats()
-    delta = {key: after[key] - before.get(key, 0) for key in after}
+    # "backend" is the one non-counter entry (a name, not a delta-able int)
+    delta = {key: value - before.get(key, 0)
+             for key, value in after.items() if isinstance(value, int)}
     print("  lazy graph: "
           f"{delta['ops_recorded']} ops recorded, {delta['ops_fused']} fused, "
           f"{delta['buffers_elided']} buffers elided, "
           f"{delta['ops_evaluated']} evaluated in "
           f"{delta['realizations']} realizations "
-          f"({'on' if lazy.lazy_enabled() else 'off (REPRO_LAZY=0)'})",
+          f"({'on' if lazy.lazy_enabled() else 'off (REPRO_LAZY=0)'}, "
+          f"backend={after['backend']})",
           file=stream)
 
 

@@ -6,6 +6,7 @@ to ``torch`` that the TyXe-style listings from the paper translate almost
 verbatim.
 """
 
+from . import backends
 from . import functional
 from . import init
 from . import lazy
@@ -37,5 +38,5 @@ __all__ = [
     # vectorized-sample execution mode
     "sample_ndim", "sample_sizes", "vectorized_samples",
     # submodules
-    "functional", "init", "lazy", "models",
+    "backends", "functional", "init", "lazy", "models",
 ]

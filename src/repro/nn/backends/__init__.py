@@ -1,0 +1,248 @@
+"""Pluggable compute backends behind :mod:`repro.nn`.
+
+The lazy engine (PR 7) shrank the realization surface of the whole tensor
+layer to a small kernel table: the elementwise ops in
+``repro.nn.lazy.ELEMENTWISE_OPS`` plus a handful of eager kernel entry points
+(matmul, im2col/col2im convolution, pooling windowing, reductions, cumsum).
+A :class:`Backend` implements exactly that surface; everything above it —
+autograd, broadcasting, dtype inference, the fusion scheduler, modules,
+experiments — is backend-independent and never changes when the backend does.
+
+Two backends ship:
+
+* ``numpy`` (default) — the pre-existing kernels, moved verbatim from
+  ``lazy.py`` / ``functional.py`` / ``tensor.py``.  Bit-identical to the
+  pre-backend code by construction.
+* ``torch`` — optional; kernels run as torch CPU tensors and results are
+  bridged back to numpy at the realize boundary.  Registered unconditionally
+  but only constructible when torch is importable
+  (:class:`BackendUnavailable` otherwise, carrying the reason so test suites
+  can skip instead of fail).
+
+Selection precedence: ``BaseExperimentConfig.backend`` (``--set backend=...``,
+applied in ``seed_all()``) > the ``REPRO_BACKEND`` environment variable >
+the ``numpy`` default.
+
+Contracts every backend must honor:
+
+* ``elementwise`` maps every ``ELEMENTWISE_OPS`` key to a kernel with the
+  scheduler signature ``(srcs, params, out=None) -> np.ndarray``.  When the
+  fusion pass passes ``out=`` (a dead temporary), the kernel must write the
+  result into that buffer and return it.
+* Kernel entry points take and return **numpy** arrays.  Accelerated
+  backends convert at the boundary; dtype/shape semantics follow numpy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "BackendUnavailable",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_mode",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "reset_backend",
+    "set_backend",
+]
+
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailable(RuntimeError):
+    """A registered backend cannot be constructed in this environment.
+
+    Carries a human-readable ``reason`` (e.g. "torch is not installed") so
+    callers — the conformance suite in particular — can *skip* with that
+    reason instead of failing.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"backend {name!r} is unavailable: {reason}")
+        self.name = name
+        self.reason = reason
+
+
+class Backend:
+    """The kernel surface of :mod:`repro.nn` (see the module docstring).
+
+    Subclasses set :attr:`name`, fill :attr:`elementwise` with one kernel per
+    ``repro.nn.lazy.ELEMENTWISE_OPS`` key, and implement every method below.
+    All arguments and results are numpy arrays.
+    """
+
+    #: registry id (``"numpy"``, ``"torch"``, ...)
+    name: str = ""
+
+    #: op id -> ``(srcs, params, out=None) -> np.ndarray`` kernel table; the
+    #: ``out=`` in-place contract is what makes the fusion pass work.
+    elementwise: Mapping[str, Callable] = {}
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Batched matrix product with numpy ``@`` broadcasting semantics."""
+        raise NotImplementedError
+
+    def im2col(self, x: np.ndarray, kh: int, kw: int,
+               stride: int) -> Tuple[np.ndarray, int, int]:
+        """Sliding conv windows of an ``(N, C, H, W)`` input.
+
+        Returns ``(cols, out_h, out_w)`` with ``cols`` of shape
+        ``(N, out_h, out_w, C*kh*kw)``, channel-major within a window.
+        """
+        raise NotImplementedError
+
+    def col2im(self, cols: np.ndarray, x_shape: Tuple[int, ...], kh: int,
+               kw: int, stride: int) -> np.ndarray:
+        """Scatter-add :meth:`im2col` column gradients back to the input."""
+        raise NotImplementedError
+
+    def max_pool2d(self, x: np.ndarray, kernel_size: int,
+                   stride: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Window max of an ``(N, C, H, W)`` input.
+
+        Returns ``(pooled, idx)`` where ``idx`` holds the *within-window*
+        flat argmax (``0..kernel_size**2 - 1``, row-major) the autograd
+        backward scatters through.
+        """
+        raise NotImplementedError
+
+    def avg_pool2d(self, x: np.ndarray, kernel_size: int,
+                   stride: int) -> np.ndarray:
+        """Window mean of an ``(N, C, H, W)`` input."""
+        raise NotImplementedError
+
+    def sum(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def mean(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def max(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def cumsum(self, x: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ------------------------------------------------------------------- registry
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_ACTIVE: Optional[Backend] = None
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register ``factory`` under ``name``.
+
+    Factories are lazy: an optional backend registers unconditionally and
+    defers its heavy import until first :func:`set_backend`/:func:`get_backend`
+    resolution, raising :class:`BackendUnavailable` from the factory when the
+    dependency is missing.
+    """
+    _FACTORIES[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every registered backend name (available or not), sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _validate(backend: Backend) -> None:
+    # deferred import: lazy.py imports this package at module level
+    from ..lazy import ELEMENTWISE_OPS
+
+    missing = sorted(set(ELEMENTWISE_OPS) - set(backend.elementwise))
+    if missing:
+        raise ValueError(
+            f"backend {backend.name!r} is missing elementwise kernels: {missing}")
+
+
+def _instantiate(name: str) -> Backend:
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}")
+    if name not in _INSTANCES:
+        backend = _FACTORIES[name]()  # may raise BackendUnavailable
+        _validate(backend)
+        _INSTANCES[name] = backend
+    return _INSTANCES[name]
+
+
+def set_backend(name: str) -> Backend:
+    """Make ``name`` the process-wide active backend and return it.
+
+    Raises ``ValueError`` for an unregistered name and
+    :class:`BackendUnavailable` for a registered-but-unconstructible one.
+    """
+    global _ACTIVE
+    _ACTIVE = _instantiate(name)
+    return _ACTIVE
+
+
+def get_backend() -> Backend:
+    """The active backend, resolving ``REPRO_BACKEND`` (default numpy) on
+    first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        name = os.environ.get("REPRO_BACKEND", "").strip() or DEFAULT_BACKEND
+        _ACTIVE = _instantiate(name)
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Forget the active selection; the next :func:`get_backend` re-resolves
+    ``REPRO_BACKEND``/default.  ``seed_all()`` calls this when a config leaves
+    ``backend`` unset so sweep cells sharing a process don't inherit a
+    previous cell's choice."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def backend_mode(name: str):
+    """Context manager scoping :func:`set_backend` (tests, conformance)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    set_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def available_backends() -> Dict[str, Optional[str]]:
+    """Map every registered name to ``None`` (constructible) or the
+    unavailability reason string (used for skip-with-reason in tests)."""
+    out: Dict[str, Optional[str]] = {}
+    for name in backend_names():
+        try:
+            _instantiate(name)
+            out[name] = None
+        except BackendUnavailable as exc:
+            out[name] = exc.reason
+    return out
+
+
+# ------------------------------------------------------- builtin registration
+from .numpy_backend import NumpyBackend  # noqa: E402
+
+
+def _torch_factory() -> Backend:
+    from .torch_backend import TorchBackend  # deferred: torch import is heavy
+
+    return TorchBackend()
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("torch", _torch_factory)

@@ -1,0 +1,217 @@
+"""Optional torch backend: kernels run as torch CPU tensors.
+
+Arrays cross the numpy<->torch boundary at every kernel call (the "realize
+boundary" — the tensor layer above stores numpy buffers), which keeps the
+rest of the stack byte-compatible at the cost of a copy per kernel.  Results
+are tolerance-checked against the reference numpy backend, not bit-checked:
+torch may pick different BLAS kernels, reduction orders and tie-breaks.
+
+torch itself is never required: the module imports with torch absent and
+:class:`TorchBackend` raises :class:`~repro.nn.backends.BackendUnavailable`
+with the reason, which the conformance suite turns into a skip.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import Backend, BackendUnavailable
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch as _torch
+except ImportError:  # pragma: no cover
+    _torch = None
+
+
+def _finish(result, out):
+    """Bridge a torch result back to numpy, honoring the ``out=`` contract."""
+    arr = result.numpy()
+    if out is None:
+        return arr
+    np.copyto(out, arr, casting="unsafe")
+    return out
+
+
+class TorchBackend(Backend):
+    """CPU torch kernels behind the numpy-facing :class:`Backend` surface."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        if _torch is None:
+            raise BackendUnavailable("torch", "torch is not installed")
+        self.torch = _torch
+        torch = _torch
+        self.elementwise = {
+            "add": self._wrap2(torch.add),
+            "sub": self._wrap2(torch.sub),
+            "mul": self._wrap2(torch.mul),
+            "div": self._wrap2(torch.div, promote=True),
+            "neg": self._wrap1(torch.neg),
+            "abs": self._wrap1(torch.abs),
+            "exp": self._wrap1(torch.exp, promote=True),
+            "log": self._wrap1(torch.log, promote=True),
+            "log1p": self._wrap1(torch.log1p, promote=True),
+            "sqrt": self._wrap1(torch.sqrt, promote=True),
+            "tanh": self._wrap1(torch.tanh, promote=True),
+            "sin": self._wrap1(torch.sin, promote=True),
+            "cos": self._wrap1(torch.cos, promote=True),
+            "erf": self._wrap1(torch.erf, promote=True),
+            "sigmoid": self._wrap1(torch.sigmoid, promote=True),
+            "softplus": self._softplus,
+            "relu": self._relu,
+            "pow": self._pow,
+            "clamp": self._clamp,
+            # a host-side copy; routing it through torch would just be two
+            # extra boundary crossings
+            "clone": self._clone,
+        }
+
+    # ------------------------------------------------------------- bridging
+    def _to(self, array) -> "_torch.Tensor":
+        # as_strided views (pooling windows) and negative strides are not
+        # from_numpy-able; a contiguous copy at the boundary is the contract
+        arr = np.ascontiguousarray(array)
+        return self.torch.from_numpy(arr)
+
+    def _to_float(self, array) -> "_torch.Tensor":
+        t = self._to(array)
+        if not t.is_floating_point():
+            # numpy float-promotes integer inputs of float-only ufuncs to
+            # float64; mirror that instead of torch's float32 default
+            t = t.to(self.torch.float64)
+        return t
+
+    # ------------------------------------------------------- elementwise ops
+    def _wrap1(self, fn, promote: bool = False):
+        to = self._to_float if promote else self._to
+
+        def compute(srcs, params, out=None):
+            result = fn(to(srcs[0]))
+            return _finish(result, out)
+
+        return compute
+
+    def _wrap2(self, fn, promote: bool = False):
+        def compute(srcs, params, out=None):
+            a, b = self._to(srcs[0]), self._to(srcs[1])
+            if promote and not (a.is_floating_point() or b.is_floating_point()):
+                a = a.to(self.torch.float64)
+            result = fn(a, b)
+            return _finish(result, out)
+
+        return compute
+
+    def _softplus(self, srcs, params, out=None):
+        t = self._to_float(srcs[0])
+        result = self.torch.logaddexp(self.torch.zeros((), dtype=t.dtype), t)
+        return _finish(result, out)
+
+    def _relu(self, srcs, params, out=None):
+        t = self._to(srcs[0])
+        result = self.torch.clamp(t, min=0)
+        return _finish(result, out)
+
+    def _pow(self, srcs, params, out=None):
+        t = self._to(srcs[0])
+        exponent = params["exponent"]
+        if isinstance(exponent, float) and not t.is_floating_point():
+            t = t.to(self.torch.float64)
+        result = self.torch.pow(t, exponent)
+        return _finish(result, out)
+
+    def _clamp(self, srcs, params, out=None):
+        t = self._to(srcs[0])
+        result = self.torch.clamp(t, min=params["min"], max=params["max"])
+        return _finish(result, out)
+
+    @staticmethod
+    def _clone(srcs, params, out=None):
+        if out is None:
+            return srcs[0].copy()
+        np.copyto(out, srcs[0])
+        return out
+
+    # ----------------------------------------------------------- kernel ops
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = self.torch.matmul(self._to(a), self._to(b))
+        arr = result.numpy()
+        return arr
+
+    def im2col(self, x: np.ndarray, kh: int, kw: int,
+               stride: int) -> Tuple[np.ndarray, int, int]:
+        n, c, h, w = x.shape
+        out_h = (h - kh) // stride + 1
+        out_w = (w - kw) // stride + 1
+        unfolded = self.torch.nn.functional.unfold(
+            self._to(x), (kh, kw), stride=stride)  # (N, C*kh*kw, L)
+        cols = unfolded.transpose(1, 2).reshape(n, out_h, out_w, c * kh * kw)
+        contiguous = cols.contiguous()
+        return contiguous.numpy(), out_h, out_w
+
+    def col2im(self, cols: np.ndarray, x_shape: Tuple[int, ...], kh: int,
+               kw: int, stride: int) -> np.ndarray:
+        n, c, h, w = x_shape
+        out_h = (h - kh) // stride + 1
+        out_w = (w - kw) // stride + 1
+        t = self._to(cols).reshape(n, out_h * out_w, c * kh * kw).transpose(1, 2)
+        folded = self.torch.nn.functional.fold(
+            t, (h, w), (kh, kw), stride=stride)  # fold sums window overlaps
+        arr = folded.numpy()
+        return arr
+
+    def max_pool2d(self, x: np.ndarray, kernel_size: int,
+                   stride: int) -> Tuple[np.ndarray, np.ndarray]:
+        _, _, _, w = x.shape
+        pooled, flat_idx = self.torch.nn.functional.max_pool2d(
+            self._to(x), kernel_size, stride, return_indices=True)
+        out_h, out_w = pooled.shape[-2:]
+        # torch indices are flat over the (H, W) plane; the autograd backward
+        # expects the within-window row-major argmax
+        idx = flat_idx.numpy()
+        rows, cols = idx // w, idx % w
+        ki = rows - np.arange(out_h)[:, None] * stride
+        kj = cols - np.arange(out_w)[None, :] * stride
+        local = ki * kernel_size + kj
+        return pooled.numpy(), local
+
+    def avg_pool2d(self, x: np.ndarray, kernel_size: int,
+                   stride: int) -> np.ndarray:
+        result = self.torch.nn.functional.avg_pool2d(
+            self._to(x), kernel_size, stride)
+        return result.numpy()
+
+    def _reduce(self, x, axis, keepdims, full_reduce, axis_reduce,
+                promote: bool = False):
+        t = self._to_float(x) if promote else self._to(x)
+        if axis is None:
+            result = full_reduce(t)
+            arr = result.numpy()
+            return arr.reshape((1,) * x.ndim) if keepdims else arr
+        result = axis_reduce(t, axis, keepdims)
+        return result.numpy()
+
+    def sum(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        torch = self.torch
+        return self._reduce(
+            x, axis, keepdims, torch.sum,
+            lambda t, ax, kd: torch.sum(t, dim=ax, keepdim=kd))
+
+    def mean(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        torch = self.torch
+        return self._reduce(
+            x, axis, keepdims, torch.mean,
+            lambda t, ax, kd: torch.mean(t, dim=ax, keepdim=kd),
+            promote=True)  # numpy's integer mean is float64; torch's errors
+
+    def max(self, x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        torch = self.torch
+        return self._reduce(
+            x, axis, keepdims, torch.amax,
+            lambda t, ax, kd: torch.amax(t, dim=ax, keepdim=kd))
+
+    def cumsum(self, x: np.ndarray, axis: int) -> np.ndarray:
+        result = self.torch.cumsum(self._to(x), dim=axis)
+        return result.numpy()

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .backends import get_backend
 from .tensor import Tensor, concatenate, is_grad_enabled, unbroadcast, where
 
 __all__ = [
@@ -210,35 +211,6 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 
 
 # --------------------------------------------------------------------- conv2d
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
-    """Extract sliding windows: returns (N, out_h, out_w, C*kh*kw)."""
-    n, c, h, w = x.shape
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    s0, s1, s2, s3 = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), out_h, out_w
-
-
-def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int, stride: int) -> np.ndarray:
-    """Scatter-add column gradients back to the input image."""
-    n, c, h, w = x_shape
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
-    grad = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            grad[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-    return grad
-
-
 def _conv2d_default(x: Tensor, weight: Tensor, bias: Optional[Tensor],
                     stride: int = 1, padding: int = 0) -> Tensor:
     """Direct im2col convolution.  ``weight``: ``(..., out_c, in_c, kh, kw)``.
@@ -254,7 +226,8 @@ def _conv2d_default(x: Tensor, weight: Tensor, bias: Optional[Tensor],
     n, c, h, w_in = xp.shape[-4:]
     flat_n = int(np.prod(x_lead, dtype=np.int64)) * n if x_lead else n
 
-    cols_np, out_h, out_w = _im2col(xp.data.reshape(flat_n, c, h, w_in), kh, kw, stride)
+    cols_np, out_h, out_w = get_backend().im2col(
+        xp.data.reshape(flat_n, c, h, w_in), kh, kw, stride)
     k_dim = c * kh * kw
     w_mat = weight.reshape(w_lead + (out_c, k_dim))
 
@@ -268,7 +241,8 @@ def _conv2d_default(x: Tensor, weight: Tensor, bias: Optional[Tensor],
 
         def _backward_cols():
             grad_cols = cols.grad.reshape(flat_n, out_h, out_w, -1)
-            grad_im = _col2im(grad_cols, (flat_n, c, h, w_in), kh, kw, stride)
+            grad_im = get_backend().col2im(grad_cols, (flat_n, c, h, w_in),
+                                           kh, kw, stride)
             xp._accumulate(grad_im.reshape(xp.shape))
 
         cols._backward = _backward_cols
@@ -317,16 +291,9 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     n, c, h, w = x.shape
     out_h = (h - kernel_size) // stride + 1
     out_w = (w - kernel_size) // stride + 1
-    s0, s1, s2, s3 = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, out_h, out_w, kernel_size, kernel_size),
-        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-        writeable=False,
-    )
-    flat = windows.reshape(n, c, out_h, out_w, -1)
-    idx = flat.argmax(axis=-1)
-    data = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+    # idx holds the within-window row-major argmax (backend contract), which
+    # is exactly what the scatter-add backward below expects
+    data, idx = get_backend().max_pool2d(x.data, kernel_size, stride)
 
     out = Tensor(data, requires_grad=is_grad_enabled() and x.requires_grad)
     if out.requires_grad:
@@ -356,14 +323,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     n, c, h, w = x.shape
     out_h = (h - kernel_size) // stride + 1
     out_w = (w - kernel_size) // stride + 1
-    s0, s1, s2, s3 = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, out_h, out_w, kernel_size, kernel_size),
-        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-        writeable=False,
-    )
-    data = windows.mean(axis=(-2, -1))
+    data = get_backend().avg_pool2d(x.data, kernel_size, stride)
 
     out = Tensor(data, requires_grad=is_grad_enabled() and x.requires_grad)
     if out.requires_grad:

@@ -8,6 +8,7 @@ the guide initializers, which set prior/posterior scales according to the
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
 
 import numpy as np
@@ -50,11 +51,11 @@ def fan_in_scale(shape: Tuple[int, ...], method: str = "radford") -> float:
     """Standard deviation implied by the given initialization convention."""
     fan_in, fan_out = calculate_fan_in_and_fan_out(shape)
     if method == "radford":
-        return 1.0 / np.sqrt(fan_in)
+        return 1.0 / math.sqrt(fan_in)
     if method == "xavier":
-        return np.sqrt(2.0 / (fan_in + fan_out))
+        return math.sqrt(2.0 / (fan_in + fan_out))
     if method == "kaiming":
-        return np.sqrt(2.0 / fan_in)
+        return math.sqrt(2.0 / fan_in)
     raise ValueError(f"unknown initialization method: {method!r}")
 
 
@@ -90,7 +91,7 @@ def ones_(tensor: Tensor) -> Tensor:
 
 def xavier_uniform_(tensor: Tensor, gain: float = 1.0, rng=None) -> Tensor:
     fan_in, fan_out = calculate_fan_in_and_fan_out(tensor.shape)
-    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
     return uniform_(tensor, -bound, bound, rng=rng)
 
 
@@ -101,7 +102,7 @@ def xavier_normal_(tensor: Tensor, gain: float = 1.0, rng=None) -> Tensor:
 
 def kaiming_uniform_(tensor: Tensor, rng=None) -> Tensor:
     fan_in, _ = calculate_fan_in_and_fan_out(tensor.shape)
-    bound = np.sqrt(6.0 / fan_in)
+    bound = math.sqrt(6.0 / fan_in)
     return uniform_(tensor, -bound, bound, rng=rng)
 
 

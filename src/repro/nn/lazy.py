@@ -53,7 +53,8 @@ import os
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
-from scipy import special as _sp_special
+
+from . import backends as _backends
 
 __all__ = [
     "LazyOp",
@@ -120,7 +121,7 @@ class _Stats:
 STATS = _Stats()
 
 
-def graph_stats() -> Dict[str, int]:
+def graph_stats() -> Dict[str, object]:
     """Snapshot of the engine counters.
 
     * ``ops_recorded`` — elementwise/movement ops deferred as graph nodes.
@@ -131,6 +132,8 @@ def graph_stats() -> Dict[str, int]:
     * ``ops_evaluated`` — kernels actually executed (shared subgraphs count
       once per realization).
     * ``realizations`` — times the scheduler ran.
+    * ``backend`` — name of the active compute backend (the only non-counter
+      entry; see :mod:`repro.nn.backends`).
     """
     return {
         "ops_recorded": STATS.ops_recorded,
@@ -138,6 +141,7 @@ def graph_stats() -> Dict[str, int]:
         "buffers_elided": STATS.buffers_elided,
         "ops_evaluated": STATS.ops_evaluated,
         "realizations": STATS.realizations,
+        "backend": _backends.get_backend().name,
     }
 
 
@@ -174,68 +178,47 @@ def _clamp_dtype(dtypes, params) -> np.dtype:
 
 
 class _OpSpec:
-    """One elementwise kernel: an ``out=``-capable compute fn + dtype rule."""
+    """One elementwise op: a dtype rule; the kernel lives in the backend."""
 
-    __slots__ = ("name", "compute", "result_dtype")
+    __slots__ = ("name", "result_dtype")
 
-    def __init__(self, name: str, compute: Callable, result_dtype: Callable) -> None:
+    def __init__(self, name: str, result_dtype: Callable) -> None:
         self.name = name
-        self.compute = compute  # (srcs, params, out=None) -> np.ndarray
         self.result_dtype = result_dtype
 
 
-def _ufunc1(fn):
-    return lambda srcs, params, out=None: fn(srcs[0], out=out)
-
-
-def _ufunc2(fn):
-    return lambda srcs, params, out=None: fn(srcs[0], srcs[1], out=out)
-
-
-def _clone_compute(srcs, params, out=None):
-    if out is None:
-        return srcs[0].copy()
-    np.copyto(out, srcs[0])
-    return out
-
-
-#: every fusable elementwise op.  The compute callables are exactly the
-#: kernels the eager engine runs (``a + b`` is ``np.add``, ``**`` is
-#: ``np.power``, ...), so eager and lazy results are bit-identical.
+#: every fusable elementwise op id and its dtype-inference rule.  Dtype
+#: inference is backend-independent (numpy promotion semantics define the
+#: tensor layer's types); the ``(srcs, params, out=None)`` kernels live in
+#: ``repro.nn.backends`` — ``get_backend().elementwise`` mirrors these keys,
+#: and the reference numpy backend's kernels are exactly what used to be
+#: inlined here (``a + b`` is ``np.add``, ``**`` is ``np.power``, ...), so
+#: eager and lazy results stay bit-identical on the default backend.
 ELEMENTWISE_OPS: Dict[str, _OpSpec] = {}
 
-for _name, _compute, _dtype_rule in [
-    ("add", _ufunc2(np.add), _promote),
-    ("sub", _ufunc2(np.subtract), _promote),
-    ("mul", _ufunc2(np.multiply), _promote),
-    ("div", _ufunc2(np.true_divide), _float_promote),
-    ("neg", _ufunc1(np.negative), _same),
-    ("abs", _ufunc1(np.absolute), _same),
-    ("exp", _ufunc1(np.exp), _float_promote),
-    ("log", _ufunc1(np.log), _float_promote),
-    ("log1p", _ufunc1(np.log1p), _float_promote),
-    ("sqrt", _ufunc1(np.sqrt), _float_promote),
-    ("tanh", _ufunc1(np.tanh), _float_promote),
-    ("sin", _ufunc1(np.sin), _float_promote),
-    ("cos", _ufunc1(np.cos), _float_promote),
-    ("erf", _ufunc1(_sp_special.erf), _float_promote),
-    ("sigmoid", _ufunc1(_sp_special.expit), _float_promote),
-    ("softplus",
-     lambda srcs, params, out=None: np.logaddexp(0.0, srcs[0], out=out),
-     _float_promote),
-    ("relu",
-     lambda srcs, params, out=None: np.maximum(srcs[0], 0.0, out=out),
-     _relu_dtype),
-    ("pow",
-     lambda srcs, params, out=None: np.power(srcs[0], params["exponent"], out=out),
-     _pow_dtype),
-    ("clamp",
-     lambda srcs, params, out=None: np.clip(srcs[0], params["min"], params["max"],
-                                            out=out),
-     _clamp_dtype),
-    ("clone", _clone_compute, _same),
+for _name, _dtype_rule in [
+    ("add", _promote),
+    ("sub", _promote),
+    ("mul", _promote),
+    ("div", _float_promote),
+    ("neg", _same),
+    ("abs", _same),
+    ("exp", _float_promote),
+    ("log", _float_promote),
+    ("log1p", _float_promote),
+    ("sqrt", _float_promote),
+    ("tanh", _float_promote),
+    ("sin", _float_promote),
+    ("cos", _float_promote),
+    ("erf", _float_promote),
+    ("sigmoid", _float_promote),
+    ("softplus", _float_promote),
+    ("relu", _relu_dtype),
+    ("pow", _pow_dtype),
+    ("clamp", _clamp_dtype),
+    ("clone", _same),
 ]:
-    ELEMENTWISE_OPS[_name] = _OpSpec(_name, _compute, _dtype_rule)
+    ELEMENTWISE_OPS[_name] = _OpSpec(_name, _dtype_rule)
 
 #: movement ops produce views at realization (like their eager counterparts)
 #: and are never fused into a destination buffer.
@@ -289,7 +272,7 @@ def record(op: str, parents: Tuple, params: Optional[dict] = None) -> LazyOp:
 
 def compute_eager(op: str, srcs, params: Optional[dict] = None) -> np.ndarray:
     """Run one op's kernel immediately (grad-tracking and ``REPRO_LAZY=0``)."""
-    return ELEMENTWISE_OPS[op].compute(srcs, params or {})
+    return _backends.get_backend().elementwise[op](srcs, params or {})
 
 
 # ------------------------------------------------------------------ scheduler
@@ -323,6 +306,7 @@ def realize(target) -> np.ndarray:
         return target._data
     order = _schedule(target)
     STATS.realizations += 1
+    kernels = _backends.get_backend().elementwise  # resolved once per schedule
 
     # per-schedule consumer counts: a temp whose count hits 0 is dead and its
     # buffer becomes the fusion destination of the op that killed it
@@ -348,7 +332,6 @@ def realize(target) -> np.ndarray:
             # clobbered by a later fused op
             owned.discard(id(node.parents[0]))
         else:
-            spec = ELEMENTWISE_OPS[node.op]
             out_buf = None
             for parent in node.parents:
                 pid = id(parent)
@@ -361,7 +344,7 @@ def realize(target) -> np.ndarray:
                     break
             if out_buf is None:
                 out_buf = np.empty(node.shape, dtype=node.dtype)
-            buf = spec.compute(srcs, node.params, out=out_buf)
+            buf = kernels[node.op](srcs, node.params, out=out_buf)
             owned.add(id(tensor))
         STATS.ops_evaluated += 1
 

@@ -8,6 +8,7 @@ walk an arbitrary architecture and replace its parameters with sample sites.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -271,7 +272,7 @@ class Linear(Module):
         self.weight = Parameter(np.empty((out_features, in_features)))
         init.kaiming_uniform_(self.weight, rng=rng)
         if bias:
-            bound = 1.0 / np.sqrt(in_features)
+            bound = 1.0 / math.sqrt(in_features)
             self.bias = Parameter(np.empty(out_features))
             init.uniform_(self.bias, -bound, bound, rng=rng)
         else:
@@ -305,7 +306,7 @@ class Conv2d(Module):
         init.kaiming_uniform_(self.weight, rng=rng)
         if bias:
             fan_in = in_channels * kernel_size * kernel_size
-            bound = 1.0 / np.sqrt(fan_in)
+            bound = 1.0 / math.sqrt(fan_in)
             self.bias = Parameter(np.empty(out_channels))
             init.uniform_(self.bias, -bound, bound, rng=rng)
         else:

@@ -8,10 +8,12 @@ built on top of these classes.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from . import lazy as _lazy
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR"]
@@ -111,8 +113,9 @@ class Adam(Optimizer):
                 v += (1 - beta2) * grad ** 2
                 bias1 = 1 - beta1 ** state["step"]
                 bias2 = 1 - beta2 ** state["step"]
-                step_size = lr * np.sqrt(bias2) / bias1
-                p.data -= step_size * m / (np.sqrt(v) + eps)
+                step_size = lr * math.sqrt(bias2) / bias1
+                denom = _lazy.compute_eager("sqrt", [v]) + eps
+                p.data -= step_size * m / denom
 
 
 class StepLR:

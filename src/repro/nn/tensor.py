@@ -26,13 +26,15 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import itertools
+import math
 import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
-from scipy import special as _sp_special
 
 from . import lazy as _lazy
+from .backends import get_backend
 
 __all__ = [
     "Tensor",
@@ -462,7 +464,8 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make(self.data @ other_t.data, (self, other_t), "matmul")
+        out = self._make(get_backend().matmul(self.data, other_t.data),
+                         (self, other_t), "matmul")
         if out.requires_grad:
 
             def _backward():
@@ -478,8 +481,9 @@ class Tensor:
                     g2 = np.expand_dims(g2, -2)
                 if b.ndim == 1:
                     g2 = np.expand_dims(g2, -1)
-                ga = g2 @ np.swapaxes(b2, -1, -2)
-                gb = np.swapaxes(a2, -1, -2) @ g2
+                backend = get_backend()
+                ga = backend.matmul(g2, np.swapaxes(b2, -1, -2))
+                gb = backend.matmul(np.swapaxes(a2, -1, -2), g2)
                 if a.ndim == 1:
                     ga = np.squeeze(ga, -2)
                 if b.ndim == 1:
@@ -596,7 +600,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward():
-                self._accumulate(out.grad * _sp_special.expit(self.data))
+                self._accumulate(out.grad * _lazy.compute_eager("sigmoid", [self.data]))
 
             out._backward = _backward
         return out
@@ -606,7 +610,8 @@ class Tensor:
         if out.requires_grad:
 
             def _backward():
-                self._accumulate(out.grad * 2.0 / np.sqrt(np.pi) * np.exp(-self.data ** 2))
+                self._accumulate(out.grad * 2.0 / math.sqrt(math.pi)
+                                 * _lazy.compute_eager("exp", [-self.data ** 2]))
 
             out._backward = _backward
         return out
@@ -616,7 +621,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward():
-                self._accumulate(out.grad * np.cos(self.data))
+                self._accumulate(out.grad * _lazy.compute_eager("cos", [self.data]))
 
             out._backward = _backward
         return out
@@ -626,7 +631,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward():
-                self._accumulate(-out.grad * np.sin(self.data))
+                self._accumulate(-out.grad * _lazy.compute_eager("sin", [self.data]))
 
             out._backward = _backward
         return out
@@ -661,7 +666,7 @@ class Tensor:
         ax = axis if axis >= 0 else axis + self.ndim
         if not 0 <= ax < self.ndim:
             raise ValueError(f"axis {axis} out of bounds for {self.ndim}-D tensor")
-        inclusive = np.cumsum(self.data, axis=ax)
+        inclusive = get_backend().cumsum(self.data, axis=ax)
         data = _shift_right_one(inclusive, ax) if exclusive else inclusive
         out = self._make(data, (self,), "cumsum")
         if out.requires_grad:
@@ -670,7 +675,7 @@ class Tensor:
                 # d out_i / d x_j = 1 for j <= i (inclusive) or j < i (exclusive),
                 # so the input gradient is a reversed (exclusive) cumulative sum.
                 rev = np.flip(out.grad, axis=ax)
-                acc = np.cumsum(rev, axis=ax)
+                acc = get_backend().cumsum(rev, axis=ax)
                 if exclusive:
                     acc = _shift_right_one(acc, ax)
                 self._accumulate(np.flip(acc, axis=ax))
@@ -680,7 +685,8 @@ class Tensor:
 
     # ------------------------------------------------------------ reductions
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        out = self._make(get_backend().sum(self.data, axis=axis, keepdims=keepdims),
+                         (self,), "sum")
         if out.requires_grad:
             in_shape = self.shape
 
@@ -718,7 +724,7 @@ class Tensor:
         return self.var(axis=axis, keepdims=keepdims, unbiased=unbiased).sqrt()
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
+        data = get_backend().max(self.data, axis=axis, keepdims=keepdims)
         out = self._make(data, (self,), "max")
         if out.requires_grad:
 
@@ -743,7 +749,7 @@ class Tensor:
         return self.data.argmax(axis=axis)
 
     def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
-        max_val = Tensor(self.data.max(axis=axis, keepdims=True))
+        max_val = Tensor(get_backend().max(self.data, axis=axis, keepdims=True))
         shifted = self - max_val
         out = shifted.exp().sum(axis=axis, keepdims=True).log() + max_val
         if not keepdims:
@@ -995,7 +1001,7 @@ def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
         out._prev = tuple(ts)
         out._op = "concatenate"
         sizes = [t.shape[axis] for t in ts]
-        offsets = np.cumsum([0] + sizes)
+        offsets = list(itertools.accumulate([0] + sizes))
 
         def _backward():
             for t, start, stop in zip(ts, offsets[:-1], offsets[1:]):

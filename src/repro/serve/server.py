@@ -10,9 +10,12 @@ Endpoints:
 ``GET /stats``
     Batcher/cache counters plus request-latency percentiles.
 
-The handler parses just enough HTTP/1.1 to serve JSON over a keep-alive-free
-connection-per-request model — deliberately tiny, because the interesting
-machinery (coalescing, caching, the stacked forward) lives in
+The handler parses just enough HTTP/1.1 to serve JSON with persistent
+(keep-alive) connections — one handler task serves a whole request pipeline,
+honoring ``Connection: close`` from the client and closing itself after any
+error response (a 4xx/5xx may mean broken request framing, and re-syncing a
+byte stream is not worth the code).  Deliberately tiny, because the
+interesting machinery (coalescing, caching, the stacked forward) lives in
 :mod:`repro.serve.batcher`.  Handlers are async and R007-clean: no blocking
 file I/O or sleeps on the event loop; the forward runs in the batcher's
 executor.
@@ -66,6 +69,8 @@ class ServeApp:
         self.batcher = MicroBatcher(engine, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms, cache=cache)
         self._latencies_ms: List[float] = []
+        self._connections_opened = 0
+        self._http_requests = 0
 
     # ----------------------------------------------------------------- routes
     async def healthz(self) -> Dict[str, Any]:
@@ -78,6 +83,9 @@ class ServeApp:
         payload = self.batcher.stats()
         payload["latency"] = _latency_percentiles(self._latencies_ms)
         payload["snapshot_id"] = self.engine.snapshot_id
+        # requests > connections is keep-alive reuse working
+        payload["http"] = {"connections": self._connections_opened,
+                           "requests": self._http_requests}
         return payload
 
     async def predict(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -106,29 +114,51 @@ class ServeApp:
     # ------------------------------------------------------------- connection
     async def handle_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        """Serve requests off one connection until close/EOF (keep-alive)."""
+        self._connections_opened += 1
         try:
-            status, reason, payload = await self._dispatch(reader)
-        except _HTTPError as exc:
-            status, reason = exc.status, exc.reason
-            payload = {"error": exc.detail}
-        except Exception as exc:  # keep the server alive on handler bugs
-            status, reason, payload = 500, "Internal Server Error", {
-                "error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode()
-        head = (f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                "Connection: close\r\n\r\n").encode()
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):
-            pass
+            while True:
+                keep_alive = True
+                try:
+                    dispatched = await self._dispatch(reader)
+                    if dispatched is None:  # clean EOF between requests
+                        return
+                    status, reason, payload, client_close = dispatched
+                    keep_alive = not client_close
+                except _HTTPError as exc:
+                    status, reason = exc.status, exc.reason
+                    payload = {"error": exc.detail}
+                    keep_alive = False  # request framing may be broken
+                except Exception as exc:  # keep the server alive on handler bugs
+                    status, reason, payload = 500, "Internal Server Error", {
+                        "error": f"{type(exc).__name__}: {exc}"}
+                    keep_alive = False
+                body = json.dumps(payload).encode()
+                head = (f"HTTP/1.1 {status} {reason}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                        "\r\n\r\n").encode()
+                try:
+                    writer.write(head + body)
+                    await writer.drain()
+                except (ConnectionError, BrokenPipeError):
+                    return
+                if not keep_alive:
+                    return
         finally:
             writer.close()
 
     async def _dispatch(self, reader: asyncio.StreamReader):
-        request_line = (await reader.readline()).decode("latin-1").strip()
+        """Parse + route one request; ``None`` on clean EOF before one starts.
+
+        Returns ``(status, reason, payload, client_close)`` where
+        ``client_close`` reflects the request's ``Connection: close`` header.
+        """
+        raw_line = await reader.readline()
+        if not raw_line:  # peer closed an idle keep-alive connection
+            return None
+        request_line = raw_line.decode("latin-1").strip()
         if not request_line:
             raise _HTTPError(400, "Bad Request", "empty request")
         parts = request_line.split()
@@ -136,33 +166,39 @@ class ServeApp:
             raise _HTTPError(400, "Bad Request",
                              f"malformed request line: {request_line!r}")
         method, path, _ = parts
+        # counted at parse time so a /stats response includes itself
+        self._http_requests += 1
         content_length = 0
+        client_close = False
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _HTTPError(400, "Bad Request",
                                      f"bad Content-Length: {value.strip()!r}")
+            elif name == "connection":
+                client_close = value.strip().lower() == "close"
         if content_length > _MAX_BODY_BYTES:
             raise _HTTPError(413, "Payload Too Large",
                              f"body of {content_length} bytes exceeds "
                              f"{_MAX_BODY_BYTES}")
         if (method, path) == ("GET", "/healthz"):
-            return 200, "OK", await self.healthz()
+            return 200, "OK", await self.healthz(), client_close
         if (method, path) == ("GET", "/stats"):
-            return 200, "OK", await self.stats()
+            return 200, "OK", await self.stats(), client_close
         if (method, path) == ("POST", "/predict"):
             raw = await reader.readexactly(content_length) if content_length else b""
             try:
                 body = json.loads(raw.decode() or "{}")
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 raise _HTTPError(400, "Bad Request", f"invalid JSON body: {exc}")
-            return 200, "OK", await self.predict(body)
+            return 200, "OK", await self.predict(body), client_close
         raise _HTTPError(404, "Not Found", f"no route for {method} {path}")
 
 

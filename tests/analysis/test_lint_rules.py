@@ -1,4 +1,4 @@
-"""Good/bad fixture coverage for every lint rule (R001-R007) and noqa handling."""
+"""Good/bad fixture coverage for every lint rule (R001-R008) and noqa handling."""
 
 import textwrap
 
@@ -21,7 +21,7 @@ def _rule_ids(findings):
 class TestFramework:
     def test_all_rules_registered(self):
         assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004",
-                                                    "R005", "R006", "R007"]
+                                                    "R005", "R006", "R007", "R008"]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -572,6 +572,75 @@ class TestNoqa:
             def model(d, i):
                 ppl.sample(f"z_{i}", d)
         """)
+        assert lint_file(path) == []
+
+
+class TestR008BackendBypass:
+    def test_np_kernel_call_in_nn_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def forward(x):
+                return np.exp(np.matmul(x, x))
+        """, name="repro/nn/fast.py")
+        assert _rule_ids(lint_file(path)) == ["R008", "R008"]
+
+    def test_stride_tricks_windowing_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def windows(x, k):
+                return np.lib.stride_tricks.as_strided(x, (k, k), x.strides)
+        """, name="repro/nn/functional.py")
+        findings = lint_file(path)
+        assert _rule_ids(findings) == ["R008"]
+        assert "im2col" in findings[0].message
+
+    def test_cumsum_and_reduction_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def scan(x):
+                return np.cumsum(x, axis=0) + np.sum(x)
+        """, name="repro/nn/tensor.py")
+        assert _rule_ids(lint_file(path)) == ["R008", "R008"]
+
+    def test_backends_package_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def kernel(srcs, params, out=None):
+                return np.exp(srcs[0], out=out)
+        """, name="repro/nn/backends/numpy_backend.py")
+        assert lint_file(path) == []
+
+    def test_outside_nn_exempt(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def summarize(x):
+                return np.mean(np.exp(x))
+        """, name="repro/ppl/infer.py")
+        assert lint_file(path) == []
+
+    def test_non_kernel_numpy_stays_legal(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def alloc(shape, idx, grad, updates):
+                buf = np.empty(shape, dtype=np.float64)
+                np.add.at(grad, idx, updates)
+                return np.transpose(buf), np.unravel_index(idx, shape)
+        """, name="repro/nn/lazy.py")
+        assert lint_file(path) == []
+
+    def test_noqa_suppression(self, tmp_path):
+        path = _write(tmp_path, """
+            import numpy as np
+
+            def forward(x):
+                return np.exp(x)  # repro: noqa[R008]
+        """, name="repro/nn/fast.py")
         assert lint_file(path) == []
 
 

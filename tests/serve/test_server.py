@@ -28,6 +28,8 @@ async def _http_roundtrip(app, raw: bytes) -> tuple:
         reader, writer = await asyncio.open_connection("127.0.0.1", port)
         writer.write(raw)
         await writer.drain()
+        # signal end-of-requests so the keep-alive handler closes after this
+        writer.write_eof()
         data = await reader.read()
         writer.close()
     finally:
@@ -36,6 +38,23 @@ async def _http_roundtrip(app, raw: bytes) -> tuple:
     head, _, body = data.partition(b"\r\n\r\n")
     status = int(head.split()[1])
     return status, json.loads(body.decode())
+
+
+async def _read_response(reader) -> tuple:
+    """Parse one framed response off a persistent connection.
+
+    Returns ``(status, headers, body)`` with lower-cased header names.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, json.loads(body.decode())
 
 
 def _post_predict(payload: dict) -> bytes:
@@ -110,6 +129,67 @@ class TestRoutes:
         assert "no route" in b404["error"]
 
 
+class TestKeepAlive:
+    def test_connection_reused_until_client_close(self, fig1_engine):
+        """Several requests ride one connection; Connection: close ends it."""
+        app = ServeApp(fig1_engine)
+
+        async def go():
+            server = await asyncio.start_server(app.handle_connection,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                responses = []
+                for _ in range(2):
+                    writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+                    await writer.drain()
+                    responses.append(await _read_response(reader))
+                writer.write(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+                await writer.drain()
+                responses.append(await _read_response(reader))
+                trailing = await reader.read()  # server must close the socket
+                writer.close()
+                return responses, trailing
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        responses, trailing = asyncio.run(go())
+        assert [status for status, _, _ in responses] == [200, 200, 200]
+        assert responses[0][1]["connection"] == "keep-alive"
+        assert responses[1][1]["connection"] == "keep-alive"
+        assert responses[2][1]["connection"] == "close"
+        assert trailing == b""
+        stats = responses[2][2]
+        assert stats["http"] == {"connections": 1, "requests": 3}
+
+    def test_error_response_closes_the_connection(self, fig1_engine):
+        """4xx framing may be broken mid-stream: the server must not reuse it."""
+        app = ServeApp(fig1_engine)
+
+        async def go():
+            server = await asyncio.start_server(app.handle_connection,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"GET /nope HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                response = await _read_response(reader)
+                trailing = await reader.read()
+                writer.close()
+                return response, trailing
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        (status, headers, _), trailing = asyncio.run(go())
+        assert status == 404
+        assert headers["connection"] == "close"
+        assert trailing == b""
+
+
 class TestCLI:
     def test_snapshot_verb_writes_artifact(self, tmp_path, capsys, tiny_overrides):
         out = tmp_path / "snap"
@@ -156,6 +236,9 @@ class TestCLI:
 
             stats = client.stats()
             assert stats["batcher"]["requests"] == 1
+            # healthz + predict + stats all rode one kept-alive connection
+            assert stats["http"] == {"connections": 1, "requests": 3}
+            client.close()
         finally:
             proc.send_signal(signal.SIGINT)
             try:
